@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Shared helpers for the figure/table benchmark harnesses.
+ *
+ * Every bench binary accepts:
+ *   --instructions=N   measured dynamic instructions per kernel
+ *   --warmup=N         warmup instructions per kernel
+ *   --seed=N           workload synthesis seed
+ *   --csv              additionally emit CSV after each table
+ *
+ * and prints the regenerated figure/table rows next to the paper's
+ * reported numbers where the paper gives them.
+ */
+
+#ifndef GDIFF_BENCH_BENCH_UTIL_HH
+#define GDIFF_BENCH_BENCH_UTIL_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "stats/table.hh"
+
+namespace gdiff {
+namespace bench {
+
+/** Command-line options common to all bench harnesses. */
+struct BenchOptions
+{
+    uint64_t instructions = 2'000'000;
+    uint64_t warmup = 200'000;
+    uint64_t seed = 1;
+    bool csv = false;
+
+    /** Parse argv; unrecognised flags abort with a usage message. */
+    static BenchOptions
+    parse(int argc, char **argv)
+    {
+        BenchOptions o;
+        for (int i = 1; i < argc; ++i) {
+            const char *a = argv[i];
+            if (std::strncmp(a, "--instructions=", 15) == 0) {
+                o.instructions = std::strtoull(a + 15, nullptr, 10);
+            } else if (std::strncmp(a, "--warmup=", 9) == 0) {
+                o.warmup = std::strtoull(a + 9, nullptr, 10);
+            } else if (std::strncmp(a, "--seed=", 7) == 0) {
+                o.seed = std::strtoull(a + 7, nullptr, 10);
+            } else if (std::strcmp(a, "--csv") == 0) {
+                o.csv = true;
+            } else {
+                std::fprintf(stderr,
+                             "usage: %s [--instructions=N] "
+                             "[--warmup=N] [--seed=N] [--csv]\n",
+                             argv[0]);
+                std::exit(2);
+            }
+        }
+        return o;
+    }
+};
+
+/** Print the table (and CSV if requested) to stdout. */
+inline void
+emit(const stats::Table &t, const BenchOptions &o)
+{
+    t.print(std::cout);
+    if (o.csv) {
+        t.printCsv(std::cout);
+        std::cout << '\n';
+    }
+}
+
+/** Print the standard bench banner. */
+inline void
+banner(const char *experiment, const char *what, const BenchOptions &o)
+{
+    std::printf("%s — %s\n", experiment, what);
+    std::printf("(measuring %llu instructions/kernel after %llu "
+                "warmup; seed %llu; synthetic SPECint2000-like "
+                "kernels, see DESIGN.md)\n\n",
+                static_cast<unsigned long long>(o.instructions),
+                static_cast<unsigned long long>(o.warmup),
+                static_cast<unsigned long long>(o.seed));
+}
+
+} // namespace bench
+} // namespace gdiff
+
+#endif // GDIFF_BENCH_BENCH_UTIL_HH

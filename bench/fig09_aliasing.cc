@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Paper Fig. 9: aliasing in the tagless gdiff prediction table —
+ * conflict rate (lookups landing on an entry last used by a
+ * different PC) as the table shrinks, and the accuracy cost relative
+ * to an unlimited table.
+ *
+ * Scale note (see DESIGN.md): our synthetic kernels have static
+ * footprints of a few hundred to a few thousand instructions, versus
+ * tens of thousands for compiled SPECint2000, so the absolute table
+ * sizes at which aliasing appears are proportionally smaller. The
+ * *shape* — negligible loss at the paper's chosen size, growing
+ * conflict rates as the table shrinks below the footprint — is what
+ * this bench reproduces; we sweep down to 64 entries accordingly.
+ */
+
+#include "bench/bench_util.hh"
+
+#include "core/gdiff.hh"
+#include "sim/profile.hh"
+#include "workload/workload.hh"
+
+using namespace gdiff;
+
+namespace {
+
+struct Point
+{
+    double conflictRate;
+    double accuracy;
+};
+
+Point
+runPoint(const std::string &name, const bench::BenchOptions &opt,
+         size_t entries)
+{
+    workload::Workload w = workload::makeWorkload(name, opt.seed);
+    auto exec = w.makeExecutor();
+    core::GDiffConfig gcfg;
+    gcfg.order = 8;
+    gcfg.tableEntries = entries;
+    core::GDiffPredictor gd(gcfg);
+
+    sim::ProfileConfig pcfg;
+    pcfg.maxInstructions = opt.instructions;
+    pcfg.warmupInstructions = opt.warmup;
+    sim::ValueProfileRunner runner(pcfg);
+    runner.addPredictor(gd);
+    runner.run(*exec);
+    return Point{gd.tableConflictRate(),
+                 runner.results()[0].accuracyAll.value()};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto opt = bench::BenchOptions::parse(argc, argv);
+    bench::banner("Figure 9",
+                  "aliasing effect of the tagless prediction table "
+                  "(gdiff, queue size 8)",
+                  opt);
+
+    const size_t sizes[] = {0, 8192, 2048, 512, 256, 128, 64};
+
+    stats::Table conflicts("Fig. 9 — conflict rate by table size",
+                           "benchmark");
+    stats::Table accloss("Fig. 9b — accuracy loss vs unlimited table",
+                         "benchmark");
+    for (size_t s : sizes) {
+        std::string h = s == 0 ? "unlimited" : std::to_string(s);
+        conflicts.addColumn(h);
+        if (s != 0)
+            accloss.addColumn(h);
+    }
+
+    for (const auto &name : workload::specWorkloadNames()) {
+        conflicts.beginRow(name);
+        accloss.beginRow(name);
+        double unlimited_acc = 0;
+        for (size_t s : sizes) {
+            Point p = runPoint(name, opt, s);
+            conflicts.cellPercent(p.conflictRate);
+            if (s == 0)
+                unlimited_acc = p.accuracy;
+            else
+                accloss.cellPercent(unlimited_acc - p.accuracy);
+        }
+    }
+    bench::emit(conflicts, opt);
+    bench::emit(accloss, opt);
+    std::printf("paper: an 8K-entry table costs < 1%% accuracy vs "
+                "unlimited; conflicts grow as the table shrinks below "
+                "the static footprint\n");
+    return 0;
+}

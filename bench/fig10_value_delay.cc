@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Paper Fig. 10: profile-mode gdiff prediction accuracy (queue size
+ * 8) under value delays T ∈ {0, 2, 4, 8, 16} — the predictor cannot
+ * see the T most recently produced values.
+ *
+ * Paper shape: average accuracy falls from 73% (T=0) to 52% (T=16);
+ * gap is the exception, peaking at a *non-zero* delay because its
+ * only correlations sit just beyond an 8-entry window (§3.1).
+ */
+
+#include "bench/bench_util.hh"
+
+#include "core/gdiff.hh"
+#include "sim/profile.hh"
+#include "workload/workload.hh"
+
+using namespace gdiff;
+
+int
+main(int argc, char **argv)
+{
+    auto opt = bench::BenchOptions::parse(argc, argv);
+    bench::banner("Figure 10",
+                  "gdiff accuracy vs value delay (profile mode, "
+                  "queue size 8)",
+                  opt);
+
+    const unsigned delays[] = {0, 2, 4, 8, 16};
+
+    stats::Table t("Fig. 10 — gdiff accuracy vs value delay",
+                   "benchmark");
+    for (unsigned d : delays)
+        t.addColumn("T=" + std::to_string(d));
+
+    std::vector<double> sums(std::size(delays), 0.0);
+    size_t n = 0;
+    std::string gap_peak;
+    double gap_best = -1, gap_t0 = 0;
+    for (const auto &name : workload::specWorkloadNames()) {
+        t.beginRow(name);
+        for (size_t i = 0; i < std::size(delays); ++i) {
+            workload::Workload w =
+                workload::makeWorkload(name, opt.seed);
+            auto exec = w.makeExecutor();
+            core::GDiffConfig gcfg;
+            gcfg.order = 8;
+            gcfg.tableEntries = 0;
+            gcfg.valueDelay = delays[i];
+            core::GDiffPredictor gd(gcfg);
+
+            sim::ProfileConfig pcfg;
+            pcfg.maxInstructions = opt.instructions;
+            pcfg.warmupInstructions = opt.warmup;
+            sim::ValueProfileRunner runner(pcfg);
+            runner.addPredictor(gd);
+            runner.run(*exec);
+            double acc = runner.results()[0].accuracyAll.value();
+            t.cellPercent(acc);
+            sums[i] += acc;
+            if (name == "gap") {
+                if (delays[i] == 0)
+                    gap_t0 = acc;
+                if (acc > gap_best) {
+                    gap_best = acc;
+                    gap_peak = "T=" + std::to_string(delays[i]);
+                }
+            }
+        }
+        ++n;
+    }
+    t.beginRow("average");
+    for (double s : sums)
+        t.cellPercent(s / static_cast<double>(n));
+    bench::emit(t, opt);
+
+    std::printf("paper: average falls 73%% -> 52%% as T goes 0 -> 16; "
+                "gap peaks at non-zero delay.\n");
+    std::printf("measured gap anomaly: best accuracy %.1f%% at %s "
+                "(T=0: %.1f%%)\n",
+                100.0 * gap_best, gap_peak.c_str(), 100.0 * gap_t0);
+    return 0;
+}

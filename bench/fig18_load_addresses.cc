@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Paper Fig. 18: predictability of the load-address stream (§6).
+ *
+ * gdiff is fed only load addresses, detecting global stride locality
+ * in the address stream; it is compared against a local stride
+ * predictor (both 4K-entry tagless tables, confidence-gated) and a
+ * first-order Markov predictor (4-way tagged, 256K entries, coverage
+ * gated by tag match; a 2M-entry variant is also reported, as in the
+ * paper's discussion). Part (a) covers all loads; part (b) only loads
+ * that miss in the D-cache.
+ *
+ * Paper averages: (a) gdiff 86% acc / 63% cov; local stride 86% / 55%;
+ * Markov 33% acc / 87% cov. (b) gdiff 53% / 33%; local stride 55% /
+ * 25%; Markov 20% / 69% (2M: 33% / 92%).
+ *
+ * Methodology note: the paper predicts at dispatch and updates at
+ * address generation in the pipeline; the dispatch-to-agen distance
+ * is short, so we replay the address stream in architectural order
+ * (see DESIGN.md).
+ */
+
+#include "bench/bench_util.hh"
+
+#include "core/gdiff.hh"
+#include "predictors/markov.hh"
+#include "predictors/stride.hh"
+#include "sim/profile.hh"
+#include "workload/workload.hh"
+
+using namespace gdiff;
+
+int
+main(int argc, char **argv)
+{
+    auto opt = bench::BenchOptions::parse(argc, argv);
+    bench::banner("Figure 18",
+                  "load-address predictability: local stride vs gdiff "
+                  "vs first-order Markov",
+                  opt);
+
+    stats::Table ta("Fig. 18a — all load addresses", "benchmark");
+    stats::Table tb("Fig. 18b — addresses of missing loads",
+                    "benchmark");
+    for (auto *t : {&ta, &tb}) {
+        t->addColumn("ls cov");
+        t->addColumn("ls acc");
+        t->addColumn("gs cov");
+        t->addColumn("gs acc");
+        t->addColumn("markov cov");
+        t->addColumn("markov acc");
+        t->addColumn("markov2M cov");
+        t->addColumn("markov2M acc");
+    }
+
+    double sa[8] = {0}, sb[8] = {0};
+    size_t n = 0;
+    for (const auto &name : workload::specWorkloadNames()) {
+        // Two passes: one with the 256K Markov, one with the 2M —
+        // PC-indexed predictors only run in the first pass.
+        predictors::StridePredictor ls(4096);
+        core::GDiffConfig gcfg;
+        gcfg.order = 8;
+        gcfg.tableEntries = 4096;
+        core::GDiffPredictor gs(gcfg);
+        predictors::MarkovPredictor mk_all(256 * 1024, 4);
+        predictors::MarkovPredictor mk_miss(256 * 1024, 4);
+
+        sim::ProfileConfig pcfg;
+        pcfg.maxInstructions = opt.instructions;
+        pcfg.warmupInstructions = opt.warmup;
+        sim::AddressProfileRunner runner(pcfg);
+        runner.addPredictor(ls);
+        runner.addPredictor(gs);
+        runner.setMarkov(mk_all, mk_miss);
+        {
+            workload::Workload w =
+                workload::makeWorkload(name, opt.seed);
+            auto exec = w.makeExecutor();
+            runner.run(*exec);
+        }
+
+        predictors::MarkovPredictor mk2_all(2 * 1024 * 1024, 4);
+        predictors::MarkovPredictor mk2_miss(2 * 1024 * 1024, 4);
+        sim::AddressProfileRunner runner2(pcfg);
+        predictors::StridePredictor dummy(64);
+        runner2.addPredictor(dummy);
+        runner2.setMarkov(mk2_all, mk2_miss);
+        {
+            workload::Workload w =
+                workload::makeWorkload(name, opt.seed);
+            auto exec = w.makeExecutor();
+            runner2.run(*exec);
+        }
+
+        const auto &r = runner.results();
+        const auto &r2 = runner2.results();
+        const sim::AddressSeries &s_ls = r[0];
+        const sim::AddressSeries &s_gs = r[1];
+        const sim::AddressSeries &s_mk = r[2];
+        const sim::AddressSeries &s_mk2 = r2.back();
+
+        double va[8] = {
+            s_ls.coverageAll.value(), s_ls.accuracyAll.value(),
+            s_gs.coverageAll.value(), s_gs.accuracyAll.value(),
+            s_mk.coverageAll.value(), s_mk.accuracyAll.value(),
+            s_mk2.coverageAll.value(), s_mk2.accuracyAll.value()};
+        double vb[8] = {
+            s_ls.coverageMiss.value(), s_ls.accuracyMiss.value(),
+            s_gs.coverageMiss.value(), s_gs.accuracyMiss.value(),
+            s_mk.coverageMiss.value(), s_mk.accuracyMiss.value(),
+            s_mk2.coverageMiss.value(), s_mk2.accuracyMiss.value()};
+
+        ta.beginRow(name);
+        tb.beginRow(name);
+        for (int i = 0; i < 8; ++i) {
+            ta.cellPercent(va[i]);
+            tb.cellPercent(vb[i]);
+            sa[i] += va[i];
+            sb[i] += vb[i];
+        }
+        ++n;
+    }
+    ta.beginRow("average");
+    tb.beginRow("average");
+    for (int i = 0; i < 8; ++i) {
+        ta.cellPercent(sa[i] / static_cast<double>(n));
+        tb.cellPercent(sb[i] / static_cast<double>(n));
+    }
+    bench::emit(ta, opt);
+    bench::emit(tb, opt);
+    std::printf(
+        "paper averages — (a) gdiff 63%% cov / 86%% acc beats local "
+        "stride 55%% / 86%%; Markov: high coverage, low accuracy.\n"
+        "(b) missing loads: gdiff 33%% cov / 53%% acc; local stride "
+        "25%% / 55%%; Markov 69%% cov / 20%% acc (2M: 92%% / 33%%).\n");
+    return 0;
+}

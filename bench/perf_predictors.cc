@@ -1,0 +1,123 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks: per-operation cost of each
+ * predictor's predict+update path. A software proxy for the paper's
+ * hardware-cost discussion — gdiff's n parallel difference
+ * comparators show up here as an O(order) update.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/gdiff.hh"
+#include "predictors/fcm.hh"
+#include "predictors/last_value.hh"
+#include "predictors/markov.hh"
+#include "predictors/stride.hh"
+#include "util/random.hh"
+
+using namespace gdiff;
+
+namespace {
+
+/** A reusable synthetic stream: 64 PCs, mixed strided/noisy values. */
+struct Stream
+{
+    static constexpr size_t size = 4096;
+    uint64_t pcs[size];
+    int64_t values[size];
+
+    Stream()
+    {
+        Xorshift64Star rng(42);
+        int64_t counters[64] = {};
+        for (size_t i = 0; i < size; ++i) {
+            unsigned k = static_cast<unsigned>(rng.below(64));
+            pcs[i] = 0x400000 + k * 4;
+            if (k < 40) {
+                counters[k] += static_cast<int64_t>(k) + 1;
+                values[i] = counters[k]; // strided
+            } else {
+                values[i] = static_cast<int64_t>(rng.next() >> 8);
+            }
+        }
+    }
+};
+
+const Stream &
+stream()
+{
+    static Stream s;
+    return s;
+}
+
+template <typename P>
+void
+runPredictor(benchmark::State &state, P &p)
+{
+    const Stream &s = stream();
+    size_t i = 0;
+    for (auto _ : state) {
+        int64_t guess = 0;
+        benchmark::DoNotOptimize(p.predict(s.pcs[i], guess));
+        p.update(s.pcs[i], s.values[i]);
+        i = (i + 1) % Stream::size;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void
+BM_LastValue(benchmark::State &state)
+{
+    predictors::LastValuePredictor p(8192);
+    runPredictor(state, p);
+}
+BENCHMARK(BM_LastValue);
+
+void
+BM_Stride(benchmark::State &state)
+{
+    predictors::StridePredictor p(8192);
+    runPredictor(state, p);
+}
+BENCHMARK(BM_Stride);
+
+void
+BM_Dfcm(benchmark::State &state)
+{
+    predictors::FcmConfig cfg;
+    cfg.level1Entries = 8192;
+    predictors::DfcmPredictor p(cfg);
+    runPredictor(state, p);
+}
+BENCHMARK(BM_Dfcm);
+
+void
+BM_GDiff(benchmark::State &state)
+{
+    core::GDiffConfig cfg;
+    cfg.order = static_cast<unsigned>(state.range(0));
+    cfg.tableEntries = 8192;
+    core::GDiffPredictor p(cfg);
+    runPredictor(state, p);
+}
+BENCHMARK(BM_GDiff)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void
+BM_Markov(benchmark::State &state)
+{
+    predictors::MarkovPredictor p(256 * 1024, 4);
+    const Stream &s = stream();
+    size_t i = 0;
+    for (auto _ : state) {
+        uint64_t guess = 0;
+        benchmark::DoNotOptimize(p.predict(guess));
+        p.update(static_cast<uint64_t>(s.values[i]) & ~7ull);
+        i = (i + 1) % Stream::size;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Markov);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Paper Table 2: baseline IPC of the 4-wide, 64-entry-window machine
+ * (no value speculation), plus the machine-behaviour diagnostics that
+ * explain each kernel's character (D-cache and I-cache miss rates,
+ * branch accuracy).
+ *
+ * Note: the numeric cells of Table 2 did not survive in the available
+ * text of the paper, so this bench reports our measured baseline and
+ * the qualitative checks the paper's prose implies — most
+ * importantly, mcf must be the slowest, memory-bound kernel (the
+ * paper quotes a 44.08% L1 D-cache miss rate for mcf).
+ */
+
+#include "bench/bench_util.hh"
+
+#include "pipeline/ooo_model.hh"
+#include "workload/workload.hh"
+
+using namespace gdiff;
+
+int
+main(int argc, char **argv)
+{
+    auto opt = bench::BenchOptions::parse(argc, argv);
+    bench::banner("Table 2",
+                  "baseline IPC (4-wide, 64-entry window, no value "
+                  "speculation)",
+                  opt);
+
+    stats::Table t("Table 2 — baseline machine", "benchmark");
+    t.addColumn("IPC");
+    t.addColumn("D$ miss");
+    t.addColumn("I$ miss");
+    t.addColumn("bpred acc");
+    t.addColumn("redirect cyc");
+    t.addColumn("ROB-stall cyc");
+
+    double worst_ipc = 1e9;
+    std::string worst;
+    double mcf_ipc = 0, mcf_dmiss = 0;
+    for (const auto &name : workload::specWorkloadNames()) {
+        workload::Workload w = workload::makeWorkload(name, opt.seed);
+        auto exec = w.makeExecutor();
+        pipeline::NoPrediction scheme;
+        pipeline::OooPipeline pipe(pipeline::PipelineConfig::paper(),
+                                   scheme);
+        pipeline::PipelineStats s =
+            pipe.run(*exec, opt.instructions, opt.warmup);
+
+        t.beginRow(name);
+        t.cellDouble(s.ipc, 3);
+        t.cellPercent(s.dcacheMissRate);
+        t.cellPercent(s.icacheMissRate);
+        t.cellPercent(s.branchAccuracy);
+        // bubbles as a fraction of measured cycles
+        t.cellPercent(static_cast<double>(s.redirectBubbleCycles) /
+                      static_cast<double>(s.cycles));
+        t.cellPercent(static_cast<double>(s.robStallCycles) /
+                      static_cast<double>(s.cycles));
+        if (s.ipc < worst_ipc) {
+            worst_ipc = s.ipc;
+            worst = name;
+        }
+        if (name == "mcf") {
+            mcf_ipc = s.ipc;
+            mcf_dmiss = s.dcacheMissRate;
+        }
+    }
+    bench::emit(t, opt);
+
+    std::printf("qualitative checks vs the paper: mcf is memory-bound "
+                "(measured D$ miss %.1f%%, paper quotes 44.1%%); "
+                "slowest kernel: %s (IPC %.3f; mcf IPC %.3f)\n",
+                100.0 * mcf_dmiss, worst.c_str(), worst_ipc, mcf_ipc);
+    return 0;
+}

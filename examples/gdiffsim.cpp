@@ -1,0 +1,328 @@
+/**
+ * @file
+ * gdiffsim — the command-line simulator a downstream user drives.
+ *
+ * Three modes over any built-in kernel or recorded trace file:
+ *
+ *   profile   architectural-order value prediction (Fig. 8 style)
+ *   address   load-address prediction with D-cache miss split (§6)
+ *   pipeline  full OOO run with a value-speculation scheme (§4-§7)
+ *
+ * Examples:
+ *   gdiffsim --workload=mcf --predictors=stride,dfcm,gdiff
+ *   gdiffsim --workload=parser --mode=address
+ *   gdiffsim --workload=mcf --mode=pipeline --scheme=hgvq
+ *   gdiffsim --workload=gzip --record=gzip.trc --instructions=2000000
+ *   gdiffsim --trace=gzip.trc --predictors=gdiff2 --order=8
+ *   gdiffsim --program=examples/spill_fill.s --predictors=stride,gdiff
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/gdiff.hh"
+#include "core/gdiff2.hh"
+#include "pipeline/ooo_model.hh"
+#include "predictors/fcm.hh"
+#include "predictors/gfcm.hh"
+#include "predictors/hybrid.hh"
+#include "predictors/last_value.hh"
+#include "predictors/markov.hh"
+#include "predictors/pi.hh"
+#include "predictors/stride.hh"
+#include "sim/profile.hh"
+#include "workload/assembler.hh"
+#include "workload/trace_io.hh"
+#include "workload/workload.hh"
+
+using namespace gdiff;
+
+namespace {
+
+struct Options
+{
+    std::string workload = "parser";
+    std::string program;      // assemble a .s file instead of a kernel
+    std::string trace;        // replay file instead of a kernel
+    std::string record;       // write the stream here and exit
+    std::string mode = "profile";
+    std::string scheme = "hgvq";
+    std::vector<std::string> predictors = {"stride", "dfcm", "gdiff"};
+    unsigned order = 8;
+    size_t tableEntries = 8192;
+    uint64_t instructions = 1'000'000;
+    uint64_t warmup = 100'000;
+    uint64_t seed = 1;
+};
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--workload=NAME | --program=FILE.s | --trace=FILE]\n"
+        "  [--mode=profile|"
+        "address|pipeline]\n"
+        "  [--predictors=a,b,...] (last,lastn,stride,fcm,dfcm,hybrid,pi,gfcm,"
+        "gdiff,gdiff2)\n"
+        "  [--scheme=baseline|l_stride|l_context|sgvq|hgvq] (pipeline "
+        "mode)\n"
+        "  [--order=N] [--table=N] [--instructions=N] [--warmup=N]\n"
+        "  [--seed=N] [--record=FILE]\n"
+        "workloads:",
+        argv0);
+    for (const auto &n : workload::specWorkloadNames())
+        std::fprintf(stderr, " %s", n.c_str());
+    std::fprintf(stderr, "\n");
+    std::exit(2);
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto take = [&](const char *key, std::string &out) {
+            std::string prefix = std::string(key) + "=";
+            if (a.rfind(prefix, 0) == 0) {
+                out = a.substr(prefix.size());
+                return true;
+            }
+            return false;
+        };
+        std::string v;
+        if (take("--workload", o.workload)) {
+        } else if (take("--program", o.program)) {
+        } else if (take("--trace", o.trace)) {
+        } else if (take("--record", o.record)) {
+        } else if (take("--mode", o.mode)) {
+        } else if (take("--scheme", o.scheme)) {
+        } else if (take("--predictors", v)) {
+            o.predictors.clear();
+            std::stringstream ss(v);
+            std::string item;
+            while (std::getline(ss, item, ','))
+                o.predictors.push_back(item);
+        } else if (take("--order", v)) {
+            o.order = static_cast<unsigned>(std::strtoul(
+                v.c_str(), nullptr, 10));
+        } else if (take("--table", v)) {
+            o.tableEntries = std::strtoull(v.c_str(), nullptr, 10);
+        } else if (take("--instructions", v)) {
+            o.instructions = std::strtoull(v.c_str(), nullptr, 10);
+        } else if (take("--warmup", v)) {
+            o.warmup = std::strtoull(v.c_str(), nullptr, 10);
+        } else if (take("--seed", v)) {
+            o.seed = std::strtoull(v.c_str(), nullptr, 10);
+        } else {
+            usage(argv[0]);
+        }
+    }
+    return o;
+}
+
+std::unique_ptr<workload::TraceSource>
+makeSource(const Options &o)
+{
+    if (!o.trace.empty())
+        return std::make_unique<workload::TraceFileSource>(o.trace);
+    if (!o.program.empty()) {
+        workload::Workload w =
+            workload::assembleWorkloadFile(o.program);
+        return w.makeExecutor();
+    }
+    workload::Workload w = workload::makeWorkload(o.workload, o.seed);
+    return w.makeExecutor();
+}
+
+std::unique_ptr<predictors::ValuePredictor>
+makePredictor(const std::string &name, const Options &o)
+{
+    if (name == "last")
+        return std::make_unique<predictors::LastValuePredictor>(
+            o.tableEntries);
+    if (name == "lastn")
+        return std::make_unique<predictors::LastNValuePredictor>(
+            4, o.tableEntries);
+    if (name == "stride")
+        return std::make_unique<predictors::StridePredictor>(
+            o.tableEntries);
+    if (name == "fcm" || name == "dfcm") {
+        predictors::FcmConfig cfg;
+        cfg.level1Entries = o.tableEntries;
+        if (name == "fcm")
+            return std::make_unique<predictors::FcmPredictor>(cfg);
+        return std::make_unique<predictors::DfcmPredictor>(cfg);
+    }
+    if (name == "pi")
+        return std::make_unique<predictors::PiPredictor>(
+            o.tableEntries);
+    if (name == "gfcm")
+        return std::make_unique<predictors::GFcmPredictor>();
+    if (name == "hybrid")
+        return std::make_unique<predictors::HybridLocalPredictor>(
+            o.tableEntries);
+    if (name == "gdiff") {
+        core::GDiffConfig cfg;
+        cfg.order = o.order;
+        cfg.tableEntries = o.tableEntries;
+        return std::make_unique<core::GDiffPredictor>(cfg);
+    }
+    if (name == "gdiff2") {
+        core::GDiff2Config cfg;
+        cfg.order = o.order;
+        cfg.tableEntries = o.tableEntries;
+        return std::make_unique<core::GDiff2Predictor>(cfg);
+    }
+    fatal("unknown predictor '%s'", name.c_str());
+}
+
+int
+runRecord(const Options &o)
+{
+    auto src = makeSource(o);
+    workload::TraceWriter writer(o.record);
+    workload::TraceRecord r;
+    while (writer.written() < o.instructions && src->next(r))
+        writer.append(r);
+    writer.close();
+    std::printf("wrote %llu records to %s\n",
+                static_cast<unsigned long long>(o.instructions),
+                o.record.c_str());
+    return 0;
+}
+
+int
+runProfile(const Options &o)
+{
+    auto src = makeSource(o);
+    std::vector<std::unique_ptr<predictors::ValuePredictor>> preds;
+    sim::ProfileConfig pcfg;
+    pcfg.maxInstructions = o.instructions;
+    pcfg.warmupInstructions = o.warmup;
+    sim::ValueProfileRunner runner(pcfg);
+    for (const auto &n : o.predictors) {
+        preds.push_back(makePredictor(n, o));
+        runner.addPredictor(*preds.back());
+    }
+    runner.run(*src);
+    std::printf("%-10s %10s %10s %10s\n", "predictor", "accuracy",
+                "coverage", "gated-acc");
+    for (const auto &s : runner.results()) {
+        std::printf("%-10s %9.2f%% %9.2f%% %9.2f%%\n", s.name.c_str(),
+                    100.0 * s.accuracyAll.value(),
+                    100.0 * s.coverage.value(),
+                    100.0 * s.accuracyGated.value());
+    }
+    return 0;
+}
+
+int
+runAddress(const Options &o)
+{
+    auto src = makeSource(o);
+    std::vector<std::unique_ptr<predictors::ValuePredictor>> preds;
+    sim::ProfileConfig pcfg;
+    pcfg.maxInstructions = o.instructions;
+    pcfg.warmupInstructions = o.warmup;
+    sim::AddressProfileRunner runner(pcfg);
+    for (const auto &n : o.predictors) {
+        preds.push_back(makePredictor(n, o));
+        runner.addPredictor(*preds.back());
+    }
+    predictors::MarkovPredictor mk_all(256 * 1024, 4);
+    predictors::MarkovPredictor mk_miss(256 * 1024, 4);
+    runner.setMarkov(mk_all, mk_miss);
+    runner.run(*src);
+    std::printf("D-cache miss rate: %.2f%%\n",
+                100.0 * runner.dcacheMissRate());
+    std::printf("%-10s %9s %9s | %9s %9s (missing loads)\n",
+                "predictor", "cov", "acc", "cov", "acc");
+    for (const auto &s : runner.results()) {
+        std::printf("%-10s %8.2f%% %8.2f%% | %8.2f%% %8.2f%%\n",
+                    s.name.c_str(), 100.0 * s.coverageAll.value(),
+                    100.0 * s.accuracyAll.value(),
+                    100.0 * s.coverageMiss.value(),
+                    100.0 * s.accuracyMiss.value());
+    }
+    return 0;
+}
+
+int
+runPipeline(const Options &o)
+{
+    auto src = makeSource(o);
+    std::unique_ptr<pipeline::VpScheme> scheme;
+    if (o.scheme == "baseline") {
+        scheme = std::make_unique<pipeline::NoPrediction>();
+    } else if (o.scheme == "l_stride") {
+        scheme = std::make_unique<pipeline::LocalScheme>(
+            std::make_unique<predictors::StridePredictor>(
+                o.tableEntries),
+            "l_stride");
+    } else if (o.scheme == "l_context") {
+        predictors::FcmConfig cfg;
+        cfg.level1Entries = o.tableEntries;
+        scheme = std::make_unique<pipeline::LocalScheme>(
+            std::make_unique<predictors::DfcmPredictor>(cfg),
+            "l_context");
+    } else if (o.scheme == "sgvq" || o.scheme == "hgvq") {
+        core::GDiffConfig cfg;
+        cfg.order = o.order > 8 ? o.order : 32;
+        cfg.tableEntries = o.tableEntries;
+        if (o.scheme == "sgvq")
+            scheme = std::make_unique<pipeline::SgvqScheme>(cfg);
+        else
+            scheme = std::make_unique<pipeline::HgvqScheme>(cfg);
+    } else {
+        fatal("unknown scheme '%s'", o.scheme.c_str());
+    }
+
+    pipeline::OooPipeline pipe(pipeline::PipelineConfig::paper(),
+                               *scheme);
+    pipeline::PipelineStats s =
+        pipe.run(*src, o.instructions, o.warmup);
+    std::printf("scheme           %s\n", scheme->name().c_str());
+    std::printf("instructions     %llu\n",
+                static_cast<unsigned long long>(s.instructions));
+    std::printf("cycles           %llu\n",
+                static_cast<unsigned long long>(s.cycles));
+    std::printf("IPC              %.3f\n", s.ipc);
+    std::printf("D$ miss rate     %.2f%%\n",
+                100.0 * s.dcacheMissRate);
+    std::printf("branch accuracy  %.2f%%\n",
+                100.0 * s.branchAccuracy);
+    std::printf("vp coverage      %.2f%%\n",
+                100.0 * s.coverage.value());
+    std::printf("vp accuracy      %.2f%%\n",
+                100.0 * s.gatedAccuracy.value());
+    std::printf("miss-load cov    %.2f%%\n",
+                100.0 * s.missLoadCoverage.value());
+    std::printf("miss-load acc    %.2f%%\n",
+                100.0 * s.missLoadAccuracy.value());
+    std::printf("avg value delay  %.2f\n", s.valueDelay.mean());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options o = parse(argc, argv);
+    if (!o.record.empty())
+        return runRecord(o);
+    if (o.mode == "profile")
+        return runProfile(o);
+    if (o.mode == "address")
+        return runAddress(o);
+    if (o.mode == "pipeline")
+        return runPipeline(o);
+    usage(argv[0]);
+}

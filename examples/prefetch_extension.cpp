@@ -1,0 +1,104 @@
+/**
+ * @file
+ * prefetch_extension — the paper's future-work direction (§8):
+ * using the global stride locality that gdiff detects in the load
+ * address stream to drive a data prefetcher.
+ *
+ * For each load, three D-caches are maintained side by side:
+ *   - no prefetch (baseline),
+ *   - a per-PC stride prefetcher (prefetch last + stride),
+ *   - a gdiff address prefetcher (prefetch the gdiff prediction of
+ *     this load's next address, derived from the global address
+ *     queue).
+ *
+ * The report shows the miss-rate reduction each prefetcher buys on
+ * every kernel — mcf and twolf, whose address streams are globally
+ * but not locally strided, are where gdiff prefetching pulls ahead.
+ *
+ * Usage: prefetch_extension [instructions]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/gdiff.hh"
+#include "mem/cache.hh"
+#include "predictors/stride.hh"
+#include "workload/workload.hh"
+
+using namespace gdiff;
+
+int
+main(int argc, char **argv)
+{
+    uint64_t budget = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                               : 400'000;
+
+    std::printf("gdiff-driven prefetching (paper §8 future work)\n");
+    std::printf("%-8s %10s | %9s %9s %9s\n", "kernel", "loads",
+                "no-pf", "stride-pf", "gdiff-pf");
+
+    for (const auto &name : workload::specWorkloadNames()) {
+        workload::Workload w = workload::makeWorkload(name, 1);
+        auto exec = w.makeExecutor();
+
+        mem::Cache base(mem::CacheConfig::paperDCache());
+        mem::Cache with_stride(mem::CacheConfig::paperDCache());
+        mem::Cache with_gdiff(mem::CacheConfig::paperDCache());
+
+        predictors::StridePredictor stride(8192);
+        core::GDiffConfig gcfg;
+        gcfg.order = 8;
+        gcfg.tableEntries = 8192;
+        core::GDiffPredictor gd(gcfg);
+
+        uint64_t loads = 0;
+        uint64_t miss_base = 0, miss_stride = 0, miss_gdiff = 0;
+        workload::TraceRecord r;
+        uint64_t executed = 0;
+        while (executed < budget && exec->next(r)) {
+            ++executed;
+            if (r.isStore()) {
+                base.access(r.effAddr);
+                with_stride.access(r.effAddr);
+                with_gdiff.access(r.effAddr);
+                continue;
+            }
+            if (!r.isLoad())
+                continue;
+            ++loads;
+
+            // Predict this load's address at dispatch and issue the
+            // line early (idealised timeliness: the early issue wins
+            // the whole miss latency). A correct prediction turns a
+            // demand miss into a hit; a wrong one pollutes.
+            int64_t guess;
+            if (stride.predict(r.pc, guess))
+                with_stride.access(static_cast<uint64_t>(guess));
+            if (gd.predict(r.pc, guess))
+                with_gdiff.access(static_cast<uint64_t>(guess));
+
+            miss_base += !base.access(r.effAddr);
+            miss_stride += !with_stride.access(r.effAddr);
+            miss_gdiff += !with_gdiff.access(r.effAddr);
+
+            int64_t addr = static_cast<int64_t>(r.effAddr);
+            stride.update(r.pc, addr);
+            gd.update(r.pc, addr);
+        }
+
+        auto pct = [&](uint64_t m) {
+            return loads ? 100.0 * static_cast<double>(m) /
+                               static_cast<double>(loads)
+                         : 0.0;
+        };
+        std::printf("%-8s %10llu | %8.2f%% %8.2f%% %8.2f%%\n",
+                    name.c_str(),
+                    static_cast<unsigned long long>(loads),
+                    pct(miss_base), pct(miss_stride), pct(miss_gdiff));
+    }
+    std::printf("\n(demand-miss rates; wrong prefetches still "
+                "pollute the cache — the trade the paper's §6/§8 "
+                "discussion anticipates)\n");
+    return 0;
+}

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Quickstart: assemble a tiny program with the public API, execute
+ * it, and watch the gdiff predictor discover a global-stride
+ * correlation that a local stride predictor cannot see.
+ *
+ * The program mimics the paper's motivating example (Fig. 2): a value
+ * is produced by a "hard" load, spilled to memory, and reloaded a few
+ * instructions later. The reload is locally unpredictable but exactly
+ * predictable from the global value history.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "core/gdiff.hh"
+#include "isa/program_builder.hh"
+#include "predictors/stride.hh"
+#include "sim/profile.hh"
+#include "workload/executor.hh"
+
+using namespace gdiff;
+using namespace gdiff::isa;
+using namespace gdiff::isa::reg;
+
+int
+main()
+{
+    // ---- 1. assemble a tiny kernel -----------------------------------
+    // Walk a table of noisy values; spill each value to the frame and
+    // reload it shortly afterwards.
+    ProgramBuilder b("quickstart");
+    Label top = b.newLabel();
+    Label wrap = b.newLabel();
+    Label resume = b.newLabel();
+
+    b.bind(top);
+    b.load(t1, s1, 0);     // noisy value (hard to predict locally)
+    b.addi(s1, s1, 8);     // table walker (easy: stride 8)
+    b.store(t1, s8, 0);    // spill
+    b.addi(t2, t1, 40);    // derived value (global stride food)
+    b.load(t3, s8, 0);     // FILL: reload of the spilled value
+    b.bge(s1, a2, wrap);
+    b.bind(resume);
+    b.jump(top);
+
+    b.bind(wrap);
+    b.addi(s1, a1, 0);
+    b.jump(resume);
+
+    Program prog = b.build();
+    std::printf("assembled '%s' (%zu instructions):\n%s\n",
+                prog.name().c_str(), prog.size(),
+                prog.disassemble().c_str());
+
+    // ---- 2. lay out data and build an executor ------------------------
+    workload::Executor exec(prog);
+    constexpr uint64_t table_base = 0x10000000;
+    constexpr int64_t table_words = 4096;
+    uint64_t h = 88172645463325252ull;
+    for (int64_t i = 0; i < table_words; ++i) {
+        h ^= h << 13;
+        h ^= h >> 7;
+        h ^= h << 17; // xorshift noise
+        exec.memory().write64(table_base + static_cast<uint64_t>(i) * 8,
+                              static_cast<int64_t>(h >> 16));
+    }
+    exec.setReg(s1, static_cast<int64_t>(table_base));
+    exec.setReg(a1, static_cast<int64_t>(table_base));
+    exec.setReg(a2, static_cast<int64_t>(table_base + table_words * 8));
+    exec.setReg(s8, 0x7fff0000);
+
+    // ---- 3. race gdiff against a local stride predictor ---------------
+    predictors::StridePredictor stride(0);
+    core::GDiffConfig gcfg;
+    gcfg.order = 8;
+    gcfg.tableEntries = 0;
+    core::GDiffPredictor gd(gcfg);
+
+    sim::ProfileConfig pcfg;
+    pcfg.maxInstructions = 300'000;
+    pcfg.warmupInstructions = 30'000;
+    sim::ValueProfileRunner runner(pcfg);
+    runner.addPredictor(stride);
+    runner.addPredictor(gd);
+    runner.run(exec);
+
+    const auto &r = runner.results();
+    std::printf("prediction accuracy over all value producers:\n");
+    for (const auto &s : r) {
+        std::printf("  %-8s %5.1f%%  (confident coverage %5.1f%% at "
+                    "%5.1f%% accuracy)\n",
+                    s.name.c_str(), 100.0 * s.accuracyAll.value(),
+                    100.0 * s.coverage.value(),
+                    100.0 * s.accuracyGated.value());
+    }
+    std::printf("\nThe spill/fill reload and the derived value are "
+                "invisible to the local\nstride predictor but exactly "
+                "predictable from the global value queue —\nthe "
+                "paper's global stride locality.\n");
+    return 0;
+}

@@ -1,0 +1,23 @@
+# spill_fill.s — the paper's Fig. 2 idiom as a standalone assembly
+# workload: a hard-to-predict value is spilled to the frame and
+# reloaded shortly after. Feed it to gdiffsim:
+#
+#   gdiffsim --program=examples/spill_fill.s --predictors=stride,gdiff
+#
+# The reload (and the values derived from it) are invisible to local
+# predictors but exactly predictable from the global value queue:
+# expect the local predictors near 0% and gdiff at 3 of the 5
+# value producers (60%), all at 100% gated accuracy.
+
+.reg s6 2862933555777941757   # LCG multiplier
+.reg s7 88172645463325253     # odd LCG state
+.reg s8 0x7fff0000            # frame pointer
+
+top:
+    mul  s7, s7, s6           # LCG state (hard for everyone)
+    srli t1, s7, 16           # the hard-to-predict value
+    sd   t1, 0(s8)            # spill
+    addi t2, t1, 40           # derived value (global stride food)
+    ld   t3, 0(s8)            # FILL: the Fig. 2 reload
+    addi t4, t3, 8            # chain off the reload
+    j    top

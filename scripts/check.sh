@@ -1,0 +1,15 @@
+#!/bin/sh
+# Full local check: configure, build, test, and smoke-run every bench
+# at a reduced budget. Mirrors what CI would run.
+set -e
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+for b in build/bench/*; do
+    case "$b" in
+        *perf_predictors) "$b" --benchmark_min_time=0.05s ;;
+        *) "$b" --instructions=200000 --warmup=40000 ;;
+    esac
+done
+echo "all checks passed"

@@ -1,0 +1,90 @@
+#include "core/gdiff.hh"
+
+namespace gdiff {
+namespace core {
+
+namespace {
+
+int64_t
+wrapAdd(int64_t a, int64_t b)
+{
+    return static_cast<int64_t>(static_cast<uint64_t>(a) +
+                                static_cast<uint64_t>(b));
+}
+
+int64_t
+wrapSub(int64_t a, int64_t b)
+{
+    return static_cast<int64_t>(static_cast<uint64_t>(a) -
+                                static_cast<uint64_t>(b));
+}
+
+} // anonymous namespace
+
+GDiffPredictor::GDiffPredictor(const GDiffConfig &config)
+    : cfg(config), table(cfg.tableEntries, cfg.hashIndex),
+      gvq(cfg.order, cfg.valueDelay)
+{
+}
+
+bool
+GDiffPredictor::predictWithWindow(uint64_t pc, const ValueWindow &window,
+                                  int64_t &value)
+{
+    const Entry *e = table.probe(pc);
+    if (!e || e->distance < 0)
+        return false;
+    unsigned k = static_cast<unsigned>(e->distance);
+    if (k >= window.count || k >= e->diffCount)
+        return false;
+    value = wrapAdd(window.values[k], e->diffs[k]);
+    return true;
+}
+
+void
+GDiffPredictor::trainWithWindow(uint64_t pc, const ValueWindow &window,
+                                int64_t actual)
+{
+    Entry &e = table.lookup(pc);
+
+    // Compute the fresh differences against the visible window.
+    std::array<int64_t, maxOrder> cur{};
+    unsigned n = window.count;
+    for (unsigned i = 0; i < n; ++i)
+        cur[i] = wrapSub(actual, window.values[i]);
+
+    // Detect a match against the stored differences; select the
+    // closest matching distance (paper Fig. 5's parallel comparators
+    // with nearest-first priority).
+    unsigned compare = n < e.diffCount ? n : e.diffCount;
+    int match = -1;
+    for (unsigned i = 0; i < compare; ++i) {
+        if (cur[i] == e.diffs[i]) {
+            match = static_cast<int>(i);
+            break;
+        }
+    }
+    if (match >= 0)
+        e.distance = static_cast<int16_t>(match);
+    // Either way, the freshly calculated differences are stored
+    // (paper §3: on no match the new diffs replace the old ones and
+    // the distance field is left alone).
+    e.diffs = cur;
+    e.diffCount = static_cast<uint8_t>(n);
+}
+
+bool
+GDiffPredictor::predict(uint64_t pc, int64_t &value)
+{
+    return predictWithWindow(pc, gvq.visibleWindow(), value);
+}
+
+void
+GDiffPredictor::update(uint64_t pc, int64_t actual)
+{
+    trainWithWindow(pc, gvq.visibleWindow(), actual);
+    gvq.push(actual);
+}
+
+} // namespace core
+} // namespace gdiff

@@ -1,0 +1,98 @@
+#include "isa/instruction.hh"
+
+#include <sstream>
+
+namespace gdiff {
+namespace isa {
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::Mul: return "mul";
+      case Opcode::Div: return "div";
+      case Opcode::Rem: return "rem";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Sll: return "sll";
+      case Opcode::Srl: return "srl";
+      case Opcode::Sra: return "sra";
+      case Opcode::Slt: return "slt";
+      case Opcode::Addi: return "addi";
+      case Opcode::Andi: return "andi";
+      case Opcode::Ori: return "ori";
+      case Opcode::Xori: return "xori";
+      case Opcode::Slli: return "slli";
+      case Opcode::Srli: return "srli";
+      case Opcode::Srai: return "srai";
+      case Opcode::Slti: return "slti";
+      case Opcode::Li: return "li";
+      case Opcode::Load: return "ld";
+      case Opcode::Store: return "sd";
+      case Opcode::Beq: return "beq";
+      case Opcode::Bne: return "bne";
+      case Opcode::Blt: return "blt";
+      case Opcode::Bge: return "bge";
+      case Opcode::Jump: return "j";
+      case Opcode::Jal: return "jal";
+      case Opcode::Jr: return "jr";
+      case Opcode::Jalr: return "jalr";
+      case Opcode::Nop: return "nop";
+      case Opcode::Halt: return "halt";
+    }
+    return "?";
+}
+
+std::string
+Instruction::toString() const
+{
+    std::ostringstream ss;
+    ss << opcodeName(op);
+    auto r = [](Reg x) { return "r" + std::to_string(x); };
+    switch (op) {
+      case Opcode::Nop:
+      case Opcode::Halt:
+        break;
+      case Opcode::Li:
+        ss << ' ' << r(rd) << ", " << imm;
+        break;
+      case Opcode::Load:
+        ss << ' ' << r(rd) << ", " << imm << '(' << r(rs1) << ')';
+        break;
+      case Opcode::Store:
+        ss << ' ' << r(rs2) << ", " << imm << '(' << r(rs1) << ')';
+        break;
+      case Opcode::Beq:
+      case Opcode::Bne:
+      case Opcode::Blt:
+      case Opcode::Bge:
+        ss << ' ' << r(rs1) << ", " << r(rs2) << ", #" << target;
+        break;
+      case Opcode::Jump:
+        ss << " #" << target;
+        break;
+      case Opcode::Jal:
+        ss << ' ' << r(rd) << ", #" << target;
+        break;
+      case Opcode::Jr:
+        ss << ' ' << r(rs1);
+        break;
+      case Opcode::Jalr:
+        ss << ' ' << r(rd) << ", " << r(rs1);
+        break;
+      default:
+        // ALU formats
+        if (isAluImmediate(op))
+            ss << ' ' << r(rd) << ", " << r(rs1) << ", " << imm;
+        else
+            ss << ' ' << r(rd) << ", " << r(rs1) << ", " << r(rs2);
+        break;
+    }
+    return ss.str();
+}
+
+} // namespace isa
+} // namespace gdiff

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Opcode definitions for the synthetic MIPS-flavoured RISC ISA used by
+ * the workload kernels.
+ *
+ * The ISA is a carrier for value, dependence, and memory behaviour —
+ * the properties the paper's predictors observe — rather than a full
+ * architectural spec. All registers and memory words are 64 bits.
+ */
+
+#ifndef GDIFF_ISA_OPCODE_HH
+#define GDIFF_ISA_OPCODE_HH
+
+#include <cstdint>
+
+namespace gdiff {
+namespace isa {
+
+/** Instruction opcodes. */
+enum class Opcode : uint8_t
+{
+    // ALU register-register
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Sll,
+    Srl,
+    Sra,
+    Slt,
+
+    // ALU register-immediate
+    Addi,
+    Andi,
+    Ori,
+    Xori,
+    Slli,
+    Srli,
+    Srai,
+    Slti,
+    Li, // load (64-bit) immediate
+
+    // Memory (64-bit words)
+    Load,  // rd <- mem[rs1 + imm]
+    Store, // mem[rs1 + imm] <- rs2
+
+    // Control
+    Beq, // branch if rs1 == rs2
+    Bne, // branch if rs1 != rs2
+    Blt, // branch if rs1 <  rs2 (signed)
+    Bge, // branch if rs1 >= rs2 (signed)
+    Jump, // unconditional direct jump
+    Jal,  // jump and link: rd <- return pc
+    Jr,   // jump register: pc <- rs1 (function return idiom)
+    Jalr, // indirect call: rd <- return pc; pc <- rs1
+
+    // Misc
+    Nop,
+    Halt, // stop execution
+};
+
+/** Total number of opcodes (for table sizing). */
+inline constexpr unsigned numOpcodes =
+    static_cast<unsigned>(Opcode::Halt) + 1;
+
+/** @return true for loads. */
+constexpr bool
+isLoad(Opcode op)
+{
+    return op == Opcode::Load;
+}
+
+/** @return true for stores. */
+constexpr bool
+isStore(Opcode op)
+{
+    return op == Opcode::Store;
+}
+
+/** @return true for any memory-accessing instruction. */
+constexpr bool
+isMemory(Opcode op)
+{
+    return isLoad(op) || isStore(op);
+}
+
+/** @return true for conditional branches. */
+constexpr bool
+isCondBranch(Opcode op)
+{
+    return op == Opcode::Beq || op == Opcode::Bne ||
+           op == Opcode::Blt || op == Opcode::Bge;
+}
+
+/** @return true for any control-transfer instruction. */
+constexpr bool
+isControl(Opcode op)
+{
+    return isCondBranch(op) || op == Opcode::Jump ||
+           op == Opcode::Jal || op == Opcode::Jr ||
+           op == Opcode::Jalr;
+}
+
+/** @return true for register-register or register-immediate ALU ops. */
+constexpr bool
+isAlu(Opcode op)
+{
+    switch (op) {
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::Mul:
+      case Opcode::Div:
+      case Opcode::Rem:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Sll:
+      case Opcode::Srl:
+      case Opcode::Sra:
+      case Opcode::Slt:
+      case Opcode::Addi:
+      case Opcode::Andi:
+      case Opcode::Ori:
+      case Opcode::Xori:
+      case Opcode::Slli:
+      case Opcode::Srli:
+      case Opcode::Srai:
+      case Opcode::Slti:
+      case Opcode::Li:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** @return true for ALU ops whose second operand is an immediate. */
+constexpr bool
+isAluImmediate(Opcode op)
+{
+    switch (op) {
+      case Opcode::Addi:
+      case Opcode::Andi:
+      case Opcode::Ori:
+      case Opcode::Xori:
+      case Opcode::Slli:
+      case Opcode::Srli:
+      case Opcode::Srai:
+      case Opcode::Slti:
+      case Opcode::Li:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/**
+ * @return true if the opcode architecturally writes a destination
+ * register (the destination may still be the hardwired zero register,
+ * which makes the write a no-op; see Instruction::producesValue()).
+ */
+constexpr bool
+writesRegister(Opcode op)
+{
+    return isAlu(op) || isLoad(op) || op == Opcode::Jal ||
+           op == Opcode::Jalr;
+}
+
+/** @return a short mnemonic string for disassembly. */
+const char *opcodeName(Opcode op);
+
+} // namespace isa
+} // namespace gdiff
+
+#endif // GDIFF_ISA_OPCODE_HH

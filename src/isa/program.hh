@@ -1,0 +1,57 @@
+/**
+ * @file
+ * A resolved synthetic-ISA program: the text segment plus metadata.
+ */
+
+#ifndef GDIFF_ISA_PROGRAM_HH
+#define GDIFF_ISA_PROGRAM_HH
+
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace gdiff {
+namespace isa {
+
+/**
+ * An immutable program: instructions at consecutive indices, all
+ * control-transfer targets resolved to instruction indices.
+ */
+class Program
+{
+  public:
+    Program() = default;
+
+    /**
+     * @param name  human-readable program name.
+     * @param text  resolved instruction sequence.
+     */
+    Program(std::string name, std::vector<Instruction> text)
+        : name_(std::move(name)), text_(std::move(text))
+    {}
+
+    /** @return the program name. */
+    const std::string &name() const { return name_; }
+
+    /** @return number of static instructions. */
+    size_t size() const { return text_.size(); }
+
+    /** @return the instruction at the given index. */
+    const Instruction &at(uint32_t index) const { return text_[index]; }
+
+    /** @return the full instruction sequence. */
+    const std::vector<Instruction> &text() const { return text_; }
+
+    /** Render the whole program as assembly text. */
+    std::string disassemble() const;
+
+  private:
+    std::string name_;
+    std::vector<Instruction> text_;
+};
+
+} // namespace isa
+} // namespace gdiff
+
+#endif // GDIFF_ISA_PROGRAM_HH

@@ -1,0 +1,188 @@
+#include "isa/program_builder.hh"
+
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace gdiff {
+namespace isa {
+
+std::string
+Program::disassemble() const
+{
+    std::ostringstream ss;
+    for (uint32_t i = 0; i < text_.size(); ++i) {
+        ss << '#' << i << "\t0x" << std::hex << indexToPc(i) << std::dec
+           << '\t' << text_[i].toString() << '\n';
+    }
+    return ss.str();
+}
+
+ProgramBuilder::ProgramBuilder(std::string name)
+    : name(std::move(name))
+{
+}
+
+Label
+ProgramBuilder::newLabel()
+{
+    Label l;
+    l.id = static_cast<uint32_t>(labelTargets.size());
+    labelTargets.push_back(UINT32_MAX);
+    return l;
+}
+
+void
+ProgramBuilder::bind(Label l)
+{
+    GDIFF_ASSERT(l.valid() && l.id < labelTargets.size(),
+                 "bind() of invalid label");
+    GDIFF_ASSERT(labelTargets[l.id] == UINT32_MAX,
+                 "label %u bound twice", l.id);
+    pendingBinds.push_back(l.id);
+}
+
+uint32_t
+ProgramBuilder::here() const
+{
+    return static_cast<uint32_t>(text.size());
+}
+
+void
+ProgramBuilder::emit(const Instruction &inst, Label pending)
+{
+    GDIFF_ASSERT(!built, "emit after build()");
+    uint32_t idx = here();
+    for (uint32_t id : pendingBinds)
+        labelTargets[id] = idx;
+    pendingBinds.clear();
+    text.push_back(inst);
+    if (pending.valid())
+        fixups.emplace_back(idx, pending.id);
+}
+
+void
+ProgramBuilder::emitRRR(Opcode op, Reg rd, Reg rs1, Reg rs2)
+{
+    Instruction i;
+    i.op = op;
+    i.rd = rd;
+    i.rs1 = rs1;
+    i.rs2 = rs2;
+    emit(i);
+}
+
+void
+ProgramBuilder::emitRRI(Opcode op, Reg rd, Reg rs1, int64_t imm)
+{
+    Instruction i;
+    i.op = op;
+    i.rd = rd;
+    i.rs1 = rs1;
+    i.imm = imm;
+    emit(i);
+}
+
+void
+ProgramBuilder::emitBranch(Opcode op, Reg rs1, Reg rs2, Label target)
+{
+    Instruction i;
+    i.op = op;
+    i.rs1 = rs1;
+    i.rs2 = rs2;
+    emit(i, target);
+}
+
+void
+ProgramBuilder::load(Reg rd, Reg base, int64_t offset)
+{
+    Instruction i;
+    i.op = Opcode::Load;
+    i.rd = rd;
+    i.rs1 = base;
+    i.imm = offset;
+    emit(i);
+}
+
+void
+ProgramBuilder::store(Reg src, Reg base, int64_t offset)
+{
+    Instruction i;
+    i.op = Opcode::Store;
+    i.rs1 = base;
+    i.rs2 = src;
+    i.imm = offset;
+    emit(i);
+}
+
+void
+ProgramBuilder::jump(Label target)
+{
+    Instruction i;
+    i.op = Opcode::Jump;
+    emit(i, target);
+}
+
+void
+ProgramBuilder::jal(Reg rd, Label target)
+{
+    Instruction i;
+    i.op = Opcode::Jal;
+    i.rd = rd;
+    emit(i, target);
+}
+
+void
+ProgramBuilder::jr(Reg rs1)
+{
+    Instruction i;
+    i.op = Opcode::Jr;
+    i.rs1 = rs1;
+    emit(i);
+}
+
+void
+ProgramBuilder::jalr(Reg rd, Reg rs1)
+{
+    Instruction i;
+    i.op = Opcode::Jalr;
+    i.rd = rd;
+    i.rs1 = rs1;
+    emit(i);
+}
+
+void
+ProgramBuilder::nop()
+{
+    Instruction i;
+    i.op = Opcode::Nop;
+    emit(i);
+}
+
+void
+ProgramBuilder::halt()
+{
+    Instruction i;
+    i.op = Opcode::Halt;
+    emit(i);
+}
+
+Program
+ProgramBuilder::build()
+{
+    GDIFF_ASSERT(!built, "build() called twice");
+    GDIFF_ASSERT(pendingBinds.empty(),
+                 "labels bound past the last instruction");
+    for (auto [idx, label_id] : fixups) {
+        uint32_t target = labelTargets[label_id];
+        GDIFF_ASSERT(target != UINT32_MAX,
+                     "unbound label %u referenced by instruction %u",
+                     label_id, idx);
+        text[idx].target = target;
+    }
+    built = true;
+    return Program(std::move(name), std::move(text));
+}
+
+} // namespace isa
+} // namespace gdiff

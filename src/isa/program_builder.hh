@@ -1,0 +1,141 @@
+/**
+ * @file
+ * A tiny assembler API for constructing synthetic-ISA programs with
+ * forward-referencing labels.
+ *
+ * Workload kernels are written against this builder; see
+ * src/workload/kernels/ for usage. Example:
+ *
+ * @code
+ *   ProgramBuilder b("loop");
+ *   Label top = b.newLabel();
+ *   b.li(reg::t0, 0);
+ *   b.bind(top);
+ *   b.addi(reg::t0, reg::t0, 1);
+ *   b.blt(reg::t0, reg::t1, top);
+ *   b.halt();
+ *   Program p = b.build();
+ * @endcode
+ */
+
+#ifndef GDIFF_ISA_PROGRAM_BUILDER_HH
+#define GDIFF_ISA_PROGRAM_BUILDER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace gdiff {
+namespace isa {
+
+/** Opaque label handle returned by ProgramBuilder::newLabel(). */
+struct Label
+{
+    uint32_t id = UINT32_MAX;
+    bool valid() const { return id != UINT32_MAX; }
+};
+
+/**
+ * Incrementally assembles a Program. Labels may be bound before or
+ * after they are referenced; build() resolves all of them and panics
+ * on any unbound label.
+ */
+class ProgramBuilder
+{
+  public:
+    /** @param name name of the program being assembled. */
+    explicit ProgramBuilder(std::string name);
+
+    /** Create a fresh, unbound label. */
+    Label newLabel();
+
+    /** Bind a label to the *next* emitted instruction. */
+    void bind(Label l);
+
+    /** @return index the next emitted instruction will occupy. */
+    uint32_t here() const;
+
+    /// @name ALU register-register
+    /// @{
+    void add(Reg rd, Reg rs1, Reg rs2) { emitRRR(Opcode::Add, rd, rs1, rs2); }
+    void sub(Reg rd, Reg rs1, Reg rs2) { emitRRR(Opcode::Sub, rd, rs1, rs2); }
+    void mul(Reg rd, Reg rs1, Reg rs2) { emitRRR(Opcode::Mul, rd, rs1, rs2); }
+    void div(Reg rd, Reg rs1, Reg rs2) { emitRRR(Opcode::Div, rd, rs1, rs2); }
+    void rem(Reg rd, Reg rs1, Reg rs2) { emitRRR(Opcode::Rem, rd, rs1, rs2); }
+    void and_(Reg rd, Reg rs1, Reg rs2) { emitRRR(Opcode::And, rd, rs1, rs2); }
+    void or_(Reg rd, Reg rs1, Reg rs2) { emitRRR(Opcode::Or, rd, rs1, rs2); }
+    void xor_(Reg rd, Reg rs1, Reg rs2) { emitRRR(Opcode::Xor, rd, rs1, rs2); }
+    void sll(Reg rd, Reg rs1, Reg rs2) { emitRRR(Opcode::Sll, rd, rs1, rs2); }
+    void srl(Reg rd, Reg rs1, Reg rs2) { emitRRR(Opcode::Srl, rd, rs1, rs2); }
+    void sra(Reg rd, Reg rs1, Reg rs2) { emitRRR(Opcode::Sra, rd, rs1, rs2); }
+    void slt(Reg rd, Reg rs1, Reg rs2) { emitRRR(Opcode::Slt, rd, rs1, rs2); }
+    /// @}
+
+    /// @name ALU register-immediate
+    /// @{
+    void addi(Reg rd, Reg rs1, int64_t imm) { emitRRI(Opcode::Addi, rd, rs1, imm); }
+    void andi(Reg rd, Reg rs1, int64_t imm) { emitRRI(Opcode::Andi, rd, rs1, imm); }
+    void ori(Reg rd, Reg rs1, int64_t imm) { emitRRI(Opcode::Ori, rd, rs1, imm); }
+    void xori(Reg rd, Reg rs1, int64_t imm) { emitRRI(Opcode::Xori, rd, rs1, imm); }
+    void slli(Reg rd, Reg rs1, int64_t imm) { emitRRI(Opcode::Slli, rd, rs1, imm); }
+    void srli(Reg rd, Reg rs1, int64_t imm) { emitRRI(Opcode::Srli, rd, rs1, imm); }
+    void srai(Reg rd, Reg rs1, int64_t imm) { emitRRI(Opcode::Srai, rd, rs1, imm); }
+    void slti(Reg rd, Reg rs1, int64_t imm) { emitRRI(Opcode::Slti, rd, rs1, imm); }
+    void li(Reg rd, int64_t imm) { emitRRI(Opcode::Li, rd, 0, imm); }
+    /** Pseudo-op: register-to-register move (addi rd, rs, 0). */
+    void mov(Reg rd, Reg rs) { addi(rd, rs, 0); }
+    /// @}
+
+    /// @name Memory (64-bit words)
+    /// @{
+    void load(Reg rd, Reg base, int64_t offset);
+    void store(Reg src, Reg base, int64_t offset);
+    /// @}
+
+    /// @name Control
+    /// @{
+    void beq(Reg rs1, Reg rs2, Label target) { emitBranch(Opcode::Beq, rs1, rs2, target); }
+    void bne(Reg rs1, Reg rs2, Label target) { emitBranch(Opcode::Bne, rs1, rs2, target); }
+    void blt(Reg rs1, Reg rs2, Label target) { emitBranch(Opcode::Blt, rs1, rs2, target); }
+    void bge(Reg rs1, Reg rs2, Label target) { emitBranch(Opcode::Bge, rs1, rs2, target); }
+    void jump(Label target);
+    void jal(Reg rd, Label target);
+    void jr(Reg rs1);
+    void jalr(Reg rd, Reg rs1);
+    /// @}
+
+    /// @name Misc
+    /// @{
+    void nop();
+    void halt();
+    /// @}
+
+    /**
+     * Resolve all labels and produce the program. The builder may not
+     * be reused afterwards.
+     */
+    Program build();
+
+  private:
+    void emitRRR(Opcode op, Reg rd, Reg rs1, Reg rs2);
+    void emitRRI(Opcode op, Reg rd, Reg rs1, int64_t imm);
+    void emitBranch(Opcode op, Reg rs1, Reg rs2, Label target);
+    void emit(const Instruction &inst, Label pending = Label{});
+
+    std::string name;
+    std::vector<Instruction> text;
+    /// label id -> bound instruction index (UINT32_MAX if unbound)
+    std::vector<uint32_t> labelTargets;
+    /// (instruction index, label id) fixups to resolve in build()
+    std::vector<std::pair<uint32_t, uint32_t>> fixups;
+    /// labels waiting to be bound to the next emitted instruction
+    std::vector<uint32_t> pendingBinds;
+    bool built = false;
+};
+
+} // namespace isa
+} // namespace gdiff
+
+#endif // GDIFF_ISA_PROGRAM_BUILDER_HH

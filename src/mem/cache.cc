@@ -1,0 +1,121 @@
+#include "mem/cache.hh"
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace gdiff {
+namespace mem {
+
+CacheConfig
+CacheConfig::paperICache()
+{
+    CacheConfig c;
+    c.name = "icache";
+    c.sizeBytes = 64 * 1024;
+    c.assoc = 4;
+    c.lineBytes = 64;
+    c.hitLatency = 1;
+    c.missPenalty = 12;
+    return c;
+}
+
+CacheConfig
+CacheConfig::paperDCache()
+{
+    CacheConfig c;
+    c.name = "dcache";
+    c.sizeBytes = 64 * 1024;
+    c.assoc = 4;
+    c.lineBytes = 64;
+    c.hitLatency = 2;
+    c.missPenalty = 14;
+    return c;
+}
+
+Cache::Cache(const CacheConfig &config)
+    : cfg(config)
+{
+    GDIFF_ASSERT(isPowerOfTwo(cfg.sizeBytes) &&
+                     isPowerOfTwo(cfg.lineBytes) &&
+                     isPowerOfTwo(cfg.assoc),
+                 "cache '%s': size/line/assoc must be powers of two",
+                 cfg.name.c_str());
+    GDIFF_ASSERT(cfg.sizeBytes >= cfg.lineBytes * cfg.assoc,
+                 "cache '%s' too small for its associativity",
+                 cfg.name.c_str());
+    numSets = static_cast<unsigned>(cfg.sizeBytes /
+                                    (cfg.lineBytes * cfg.assoc));
+    lineShift = floorLog2(cfg.lineBytes);
+    ways.resize(static_cast<size_t>(numSets) * cfg.assoc);
+}
+
+uint64_t
+Cache::setIndex(uint64_t addr) const
+{
+    return (addr >> lineShift) & (numSets - 1);
+}
+
+uint64_t
+Cache::tagOf(uint64_t addr) const
+{
+    return addr >> lineShift;
+}
+
+bool
+Cache::access(uint64_t addr)
+{
+    accessCount.increment();
+    ++useClock;
+    uint64_t set = setIndex(addr);
+    uint64_t tag = tagOf(addr);
+    Way *base = &ways[set * cfg.assoc];
+
+    for (unsigned i = 0; i < cfg.assoc; ++i) {
+        if (base[i].valid && base[i].tag == tag) {
+            base[i].lastUse = useClock;
+            return true;
+        }
+    }
+
+    missCount.increment();
+    // Victimise the LRU way (or the first invalid one).
+    Way *victim = &base[0];
+    for (unsigned i = 0; i < cfg.assoc; ++i) {
+        if (!base[i].valid) {
+            victim = &base[i];
+            break;
+        }
+        if (base[i].lastUse < victim->lastUse)
+            victim = &base[i];
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lastUse = useClock;
+    return false;
+}
+
+bool
+Cache::probe(uint64_t addr) const
+{
+    uint64_t set = setIndex(addr);
+    uint64_t tag = tagOf(addr);
+    const Way *base = &ways[set * cfg.assoc];
+    for (unsigned i = 0; i < cfg.assoc; ++i) {
+        if (base[i].valid && base[i].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::reset()
+{
+    for (auto &w : ways)
+        w = Way();
+    useClock = 0;
+    accessCount.reset();
+    missCount.reset();
+}
+
+} // namespace mem
+} // namespace gdiff

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Set-associative LRU cache timing model.
+ *
+ * Timing-only: the model tracks presence (tags + LRU), not data. The
+ * functional executor supplies values; this model decides hit/miss
+ * and hence the latency the pipeline charges, per paper Table 1.
+ */
+
+#ifndef GDIFF_MEM_CACHE_HH
+#define GDIFF_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stats/counter.hh"
+
+namespace gdiff {
+namespace mem {
+
+/** Geometry and latency of one cache level. */
+struct CacheConfig
+{
+    std::string name = "cache";
+    uint64_t sizeBytes = 64 * 1024;
+    unsigned assoc = 4;
+    unsigned lineBytes = 64;
+    unsigned hitLatency = 2;   ///< cycles on a hit
+    unsigned missPenalty = 14; ///< extra cycles on a miss
+
+    /** Paper Table 1 instruction cache: 64 KiB, 4-way, 64 B lines,
+     * 12-cycle miss penalty. */
+    static CacheConfig paperICache();
+
+    /** Paper Table 1 data cache: 64 KiB, 4-way, 64 B lines, 14-cycle
+     * miss penalty, 2-cycle hit. */
+    static CacheConfig paperDCache();
+};
+
+/**
+ * A single-level set-associative cache with true-LRU replacement.
+ */
+class Cache
+{
+  public:
+    /** @param config geometry and latencies; size/assoc/line must be
+     * powers of two and consistent. */
+    explicit Cache(const CacheConfig &config);
+
+    /**
+     * Access the line containing @p addr, allocating it on a miss.
+     * @return true on hit.
+     */
+    bool access(uint64_t addr);
+
+    /**
+     * Probe without modifying state.
+     * @return true if the line is currently resident.
+     */
+    bool probe(uint64_t addr) const;
+
+    /** @return latency in cycles for an access that hits/misses. */
+    unsigned
+    latency(bool hit) const
+    {
+        return hit ? cfg.hitLatency : cfg.hitLatency + cfg.missPenalty;
+    }
+
+    /** @return the configuration. */
+    const CacheConfig &config() const { return cfg; }
+
+    /** @return total accesses. */
+    uint64_t accesses() const { return accessCount.value(); }
+
+    /** @return total misses. */
+    uint64_t misses() const { return missCount.value(); }
+
+    /** @return miss rate in [0,1]. */
+    double
+    missRate() const
+    {
+        return accesses() == 0
+                   ? 0.0
+                   : static_cast<double>(misses()) /
+                         static_cast<double>(accesses());
+    }
+
+    /** Invalidate all lines and reset statistics. */
+    void reset();
+
+  private:
+    struct Way
+    {
+        uint64_t tag = 0;
+        uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    uint64_t setIndex(uint64_t addr) const;
+    uint64_t tagOf(uint64_t addr) const;
+
+    CacheConfig cfg;
+    unsigned numSets;
+    unsigned lineShift;
+    std::vector<Way> ways; // numSets * assoc, row-major by set
+    uint64_t useClock = 0;
+    stats::Counter accessCount;
+    stats::Counter missCount;
+};
+
+} // namespace mem
+} // namespace gdiff
+
+#endif // GDIFF_MEM_CACHE_HH

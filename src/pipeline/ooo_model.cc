@@ -1,0 +1,263 @@
+#include "pipeline/ooo_model.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace gdiff {
+namespace pipeline {
+
+using isa::Opcode;
+
+namespace {
+
+/// issue-bandwidth ring size (must exceed any plausible scheduling
+/// horizon; the ROB bounds lookahead well below this)
+constexpr size_t issueRingSize = 1 << 16;
+
+} // anonymous namespace
+
+OooPipeline::OooPipeline(const PipelineConfig &config, VpScheme &s)
+    : cfg(config), scheme(s), bpred(config), icache(config.icache),
+      dcache(config.dcache), issueCount(issueRingSize, 0),
+      issueTag(issueRingSize, ~uint64_t(0))
+{
+}
+
+void
+OooPipeline::drainWritebacksBefore(uint64_t cycle, PipelineStats &stats)
+{
+    while (!pending.empty() && pending.top().completeCycle < cycle) {
+        const PendingWriteback wb = pending.top();
+        pending.pop();
+        ++producerWritebacks;
+        if (wb.measured) {
+            stats.valueDelay.record(producerWritebacks -
+                                    wb.producedAtDispatch);
+        }
+        scheme.writeback(wb.pc, wb.decision, wb.value);
+    }
+}
+
+uint64_t
+OooPipeline::allocateIssueSlot(uint64_t earliest)
+{
+    uint64_t cycle = earliest;
+    for (;;) {
+        size_t idx = static_cast<size_t>(cycle & (issueRingSize - 1));
+        if (issueTag[idx] != cycle) {
+            issueTag[idx] = cycle;
+            issueCount[idx] = 0;
+        }
+        if (issueCount[idx] < cfg.issueWidth) {
+            ++issueCount[idx];
+            return cycle;
+        }
+        ++cycle;
+    }
+}
+
+PipelineStats
+OooPipeline::run(workload::TraceSource &src, uint64_t max_instructions,
+                 uint64_t warmup)
+{
+    PipelineStats stats;
+
+    // Per-register availability, for real results and for the
+    // speculation-aware view consumers use.
+    std::vector<uint64_t> regReady(isa::numRegs, 0);
+    std::vector<uint64_t> regReadySpec(isa::numRegs, 0);
+    // Store-to-load dependence through memory.
+    std::unordered_map<uint64_t, uint64_t> memReady;
+
+    // ROB occupancy: retire cycles of the last robSize instructions.
+    std::vector<uint64_t> robRetire(cfg.robSize, 0);
+
+    uint64_t front_cycle = 1;       // front-end dispatch cursor
+    unsigned dispatched_in_cycle = 0;
+    uint64_t last_fetch_line = ~uint64_t(0);
+    uint64_t last_retire_cycle = 0;
+    unsigned retired_in_cycle = 0;
+
+    uint64_t seq = 0;
+    uint64_t measured = 0;
+    uint64_t first_measured_cycle = 0;
+    uint64_t last_cycle = 0;
+    uint64_t budget = warmup + max_instructions;
+
+    workload::TraceRecord r;
+    while (seq < budget && src.next(r)) {
+        bool measure = seq >= warmup;
+
+        // ---- front end ------------------------------------------------
+        uint64_t line = r.pc >> 6;
+        if (line != last_fetch_line) {
+            last_fetch_line = line;
+            if (!icache.access(r.pc)) {
+                front_cycle += cfg.icache.missPenalty;
+                dispatched_in_cycle = 0;
+                if (measure)
+                    stats.icacheBubbleCycles += cfg.icache.missPenalty;
+            }
+        }
+        if (dispatched_in_cycle >= cfg.dispatchWidth) {
+            ++front_cycle;
+            dispatched_in_cycle = 0;
+        }
+
+        // ---- dispatch (ROB backpressure) -------------------------------
+        uint64_t rob_free =
+            robRetire[seq % cfg.robSize]; // retire of (seq - robSize)
+        uint64_t dispatch_cycle =
+            std::max(front_cycle + cfg.frontendDepth, rob_free);
+        if (dispatch_cycle > front_cycle + cfg.frontendDepth) {
+            // stall backpressures the front end
+            if (measure) {
+                stats.robStallCycles +=
+                    dispatch_cycle - (front_cycle + cfg.frontendDepth);
+            }
+            front_cycle = dispatch_cycle - cfg.frontendDepth;
+            dispatched_in_cycle = 0;
+        }
+        ++dispatched_in_cycle;
+
+        // ---- writebacks that architecturally precede this dispatch ----
+        drainWritebacksBefore(dispatch_cycle, stats);
+
+        // ---- value prediction at dispatch ------------------------------
+        VpDecision decision;
+        bool produces = r.producesValue();
+        if (produces)
+            decision = scheme.predictAtDispatch(r.pc);
+
+        // ---- operand readiness -----------------------------------------
+        uint64_t ready = dispatch_cycle + 1;
+        if (r.inst.readsRs1())
+            ready = std::max(ready, regReadySpec[r.inst.rs1]);
+        if (r.inst.readsRs2())
+            ready = std::max(ready, regReadySpec[r.inst.rs2]);
+        if (r.isLoad()) {
+            auto it = memReady.find(r.effAddr);
+            if (it != memReady.end())
+                ready = std::max(ready, it->second);
+        }
+
+        // ---- issue and execute ------------------------------------------
+        uint64_t issue_cycle = allocateIssueSlot(ready);
+        unsigned latency = cfg.aluLatency;
+        bool dmiss = false;
+        switch (r.inst.op) {
+          case Opcode::Mul:
+            latency = cfg.mulLatency;
+            break;
+          case Opcode::Div:
+          case Opcode::Rem:
+            latency = cfg.divLatency;
+            break;
+          case Opcode::Load:
+            dmiss = !dcache.access(r.effAddr);
+            latency = cfg.agenLatency + dcache.latency(!dmiss);
+            break;
+          case Opcode::Store:
+            // address generation; data commits from the store queue
+            dcache.access(r.effAddr);
+            latency = cfg.agenLatency;
+            break;
+          default:
+            break;
+        }
+        uint64_t complete_cycle = issue_cycle + latency;
+
+        // ---- control flow ------------------------------------------------
+        if (r.isControl() || r.isCondBranch()) {
+            bool correct = bpred.predictAndTrain(r);
+            if (!correct) {
+                uint64_t redirected = std::max(
+                    front_cycle,
+                    complete_cycle + cfg.redirectPenalty);
+                if (measure)
+                    stats.redirectBubbleCycles +=
+                        redirected - front_cycle;
+                front_cycle = redirected;
+                dispatched_in_cycle = 0;
+                last_fetch_line = ~uint64_t(0);
+            }
+        }
+
+        // ---- architectural effects --------------------------------------
+        if (isa::writesRegister(r.inst.op) &&
+            r.inst.rd != isa::reg::zero) {
+            regReady[r.inst.rd] = complete_cycle;
+            uint64_t spec = complete_cycle;
+            if (decision.confident) {
+                spec = (decision.value == r.value)
+                           ? dispatch_cycle + 1     // dependence broken
+                           : complete_cycle + 1;    // selective reissue
+            }
+            regReadySpec[r.inst.rd] = spec;
+        }
+        if (r.isStore())
+            memReady[r.effAddr] = complete_cycle;
+
+        // ---- retire (in order, retireWidth per cycle) ---------------------
+        uint64_t retire_cycle =
+            std::max(complete_cycle + 1, last_retire_cycle);
+        if (retire_cycle == last_retire_cycle &&
+            retired_in_cycle >= cfg.retireWidth) {
+            ++retire_cycle;
+        }
+        if (retire_cycle != last_retire_cycle) {
+            last_retire_cycle = retire_cycle;
+            retired_in_cycle = 0;
+        }
+        ++retired_in_cycle;
+        robRetire[seq % cfg.robSize] = retire_cycle;
+
+        // ---- predictor writeback event ------------------------------------
+        if (produces) {
+            PendingWriteback wb;
+            wb.completeCycle = complete_cycle;
+            wb.seq = seq;
+            wb.pc = r.pc;
+            wb.value = r.value;
+            wb.decision = decision;
+            wb.producedAtDispatch = producerWritebacks;
+            wb.measured = measure;
+            pending.push(wb);
+        }
+
+        // ---- statistics ------------------------------------------------------
+        if (measure) {
+            if (measured == 0)
+                first_measured_cycle = dispatch_cycle;
+            ++measured;
+            if (r.isLoad() && dmiss) {
+                stats.missLoadCoverage.record(decision.confident);
+                if (decision.confident) {
+                    stats.missLoadAccuracy.record(decision.value ==
+                                                  r.value);
+                }
+            }
+        }
+        last_cycle = std::max(last_cycle, retire_cycle);
+        ++seq;
+    }
+
+    drainWritebacksBefore(~uint64_t(0), stats);
+
+    stats.instructions = measured;
+    stats.cycles = last_cycle > first_measured_cycle
+                       ? last_cycle - first_measured_cycle
+                       : 1;
+    stats.ipc = static_cast<double>(stats.instructions) /
+                static_cast<double>(stats.cycles);
+    stats.dcacheMissRate = dcache.missRate();
+    stats.icacheMissRate = icache.missRate();
+    stats.branchAccuracy = bpred.overallAccuracy().value();
+    stats.coverage = scheme.coverage();
+    stats.gatedAccuracy = scheme.gatedAccuracy();
+    return stats;
+}
+
+} // namespace pipeline
+} // namespace gdiff

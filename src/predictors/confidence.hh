@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Per-PC confidence estimation (paper §4): a 3-bit saturating counter
+ * per table entry, +2 on a correct prediction, -1 on an incorrect
+ * one, confident at counts >= 4. The experiment drivers use this to
+ * compute confidence-gated coverage and accuracy.
+ */
+
+#ifndef GDIFF_PREDICTORS_CONFIDENCE_HH
+#define GDIFF_PREDICTORS_CONFIDENCE_HH
+
+#include "predictors/table.hh"
+#include "util/sat_counter.hh"
+
+namespace gdiff {
+namespace predictors {
+
+/** Policy parameters for a confidence table. */
+struct ConfidenceConfig
+{
+    unsigned bits = 3;
+    unsigned upStep = 2;
+    unsigned downStep = 1;
+    unsigned threshold = 4;
+    size_t entries = 0; ///< 0 = unlimited (per-PC)
+};
+
+/** PC-indexed confidence counters. */
+class ConfidenceTable
+{
+  public:
+    explicit ConfidenceTable(const ConfidenceConfig &config =
+                                 ConfidenceConfig())
+        : cfg(config), table(cfg.entries)
+    {}
+
+    /** @return true if predictions for pc are currently confident. */
+    bool
+    confident(uint64_t pc) const
+    {
+        return level(pc) >= cfg.threshold;
+    }
+
+    /** @return the raw confidence counter value for pc. */
+    unsigned
+    level(uint64_t pc) const
+    {
+        const Entry *e = table.probe(pc);
+        return e ? e->count : 0;
+    }
+
+    /**
+     * Train on the outcome of a prediction for pc.
+     * @param correct whether the prediction was correct.
+     */
+    void
+    train(uint64_t pc, bool correct)
+    {
+        Entry &e = table.lookup(pc);
+        unsigned max = (1u << cfg.bits) - 1;
+        if (correct)
+            e.count = (e.count + cfg.upStep > max) ? max
+                                                   : e.count + cfg.upStep;
+        else
+            e.count = (e.count < cfg.downStep) ? 0
+                                               : e.count - cfg.downStep;
+    }
+
+    /** @return the policy in force. */
+    const ConfidenceConfig &config() const { return cfg; }
+
+  private:
+    struct Entry
+    {
+        unsigned count = 0;
+    };
+
+    ConfidenceConfig cfg;
+    PcIndexedTable<Entry> table;
+};
+
+} // namespace predictors
+} // namespace gdiff
+
+#endif // GDIFF_PREDICTORS_CONFIDENCE_HH

@@ -1,0 +1,146 @@
+#include "predictors/fcm.hh"
+
+#include "util/logging.hh"
+
+namespace gdiff {
+namespace predictors {
+
+namespace {
+
+/**
+ * Append one item to an order-n history. Each item is folded to 16
+ * bits and the history truncated so it depends on *exactly* the last
+ * `order` items — essential for context prediction: periodic streams
+ * must produce periodic (repeating) history values.
+ */
+uint64_t
+rollHistory(uint64_t history, uint64_t item, unsigned order)
+{
+    uint64_t folded = mix64(item) & 0xffff;
+    return ((history << 16) | folded) & mask(16 * order);
+}
+
+} // anonymous namespace
+
+// ---------------------------------------------------------------- DFCM
+
+DfcmPredictor::DfcmPredictor(const FcmConfig &config)
+    : cfg(config), l2Bits(ceilLog2(cfg.level2Entries)),
+      level1(cfg.level1Entries),
+      level2(cfg.level2Entries)
+{
+    GDIFF_ASSERT(isPowerOfTwo(cfg.level2Entries),
+                 "DFCM level-2 size must be a power of two");
+    GDIFF_ASSERT(cfg.order >= 1 && cfg.order <= 4,
+                 "DFCM order out of range (16 history bits per item)");
+}
+
+uint64_t
+DfcmPredictor::foldHistory(uint64_t pc, uint64_t history) const
+{
+    // The second level is indexed by (PC, history): per-PC slots keep
+    // high-churn noise instructions from evicting other instructions'
+    // learned contexts (a standard DFCM implementation refinement).
+    // mix64 keeps the hash order-sensitive: rotations of a periodic
+    // context must land in different entries.
+    return (mix64(history) ^ mix64(pc)) & mask(l2Bits);
+}
+
+uint64_t
+DfcmPredictor::pushHistory(uint64_t history, int64_t stride) const
+{
+    return rollHistory(history, static_cast<uint64_t>(stride),
+                       cfg.order);
+}
+
+bool
+DfcmPredictor::predict(uint64_t pc, int64_t &value)
+{
+    const L1Entry *e = level1.probe(pc);
+    if (!e || e->seen <= cfg.order)
+        return false;
+    const L2Entry &l2 = level2[foldHistory(pc, e->history)];
+    if (!l2.valid)
+        return false;
+    value = static_cast<int64_t>(static_cast<uint64_t>(e->last) +
+                                 static_cast<uint64_t>(l2.stride));
+    return true;
+}
+
+void
+DfcmPredictor::update(uint64_t pc, int64_t actual)
+{
+    L1Entry &e = level1.lookup(pc);
+    if (e.seen == 0) {
+        e.last = actual;
+        e.seen = 1;
+        return;
+    }
+    int64_t stride = static_cast<int64_t>(
+        static_cast<uint64_t>(actual) - static_cast<uint64_t>(e.last));
+    if (e.seen > cfg.order) {
+        // Train the second level with the stride that followed the
+        // current history.
+        L2Entry &l2 = level2[foldHistory(pc, e.history)];
+        l2.stride = stride;
+        l2.valid = true;
+    }
+    e.history = pushHistory(e.history, stride);
+    e.last = actual;
+    if (e.seen <= cfg.order + 1)
+        ++e.seen;
+}
+
+// ----------------------------------------------------------------- FCM
+
+FcmPredictor::FcmPredictor(const FcmConfig &config)
+    : cfg(config), l2Bits(ceilLog2(cfg.level2Entries)),
+      level1(cfg.level1Entries),
+      level2(cfg.level2Entries)
+{
+    GDIFF_ASSERT(isPowerOfTwo(cfg.level2Entries),
+                 "FCM level-2 size must be a power of two");
+}
+
+uint64_t
+FcmPredictor::foldHistory(uint64_t pc, uint64_t history) const
+{
+    return (mix64(history) ^ mix64(pc)) & mask(l2Bits);
+}
+
+uint64_t
+FcmPredictor::pushHistory(uint64_t history, int64_t value) const
+{
+    return rollHistory(history, static_cast<uint64_t>(value),
+                       cfg.order);
+}
+
+bool
+FcmPredictor::predict(uint64_t pc, int64_t &value)
+{
+    const L1Entry *e = level1.probe(pc);
+    if (!e || e->seen < cfg.order)
+        return false;
+    const L2Entry &l2 = level2[foldHistory(pc, e->history)];
+    if (!l2.valid)
+        return false;
+    value = l2.value;
+    return true;
+}
+
+void
+FcmPredictor::update(uint64_t pc, int64_t actual)
+{
+    L1Entry &e = level1.lookup(pc);
+    if (e.seen >= cfg.order) {
+        L2Entry &l2 = level2[foldHistory(pc, e.history)];
+        l2.value = actual;
+        l2.valid = true;
+    }
+    e.history = pushHistory(e.history, actual);
+    if (e.seen <= cfg.order)
+        ++e.seen;
+}
+
+} // namespace predictors
+} // namespace gdiff

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Local stride predictor (Gabbay & Mendelson; Lipasti & Shen).
+ *
+ * Each PC's entry tracks the last value and a stride. The default is
+ * the 2-delta variant: the predicted stride only changes after the
+ * same new stride has been observed twice in a row, which keeps one
+ * odd value (e.g. a loop restart) from destroying a learned stride.
+ */
+
+#ifndef GDIFF_PREDICTORS_STRIDE_HH
+#define GDIFF_PREDICTORS_STRIDE_HH
+
+#include "predictors/table.hh"
+#include "predictors/value_predictor.hh"
+
+namespace gdiff {
+namespace predictors {
+
+/** Local (per-PC) stride predictor. */
+class StridePredictor : public ValuePredictor
+{
+  public:
+    /**
+     * @param entries   table entries (0 = unlimited).
+     * @param two_delta use the 2-delta stride update rule.
+     */
+    explicit StridePredictor(size_t entries = 0, bool two_delta = true)
+        : table(entries), twoDelta(two_delta)
+    {}
+
+    std::string name() const override { return "stride"; }
+
+    bool
+    predict(uint64_t pc, int64_t &value) override
+    {
+        return predictAhead(pc, 0, value);
+    }
+
+    bool
+    predictAhead(uint64_t pc, unsigned ahead, int64_t &value) override
+    {
+        const Entry *e = table.probe(pc);
+        if (!e || !e->seen)
+            return false;
+        // Extrapolate across the in-flight instances: the classic
+        // stride-predictor answer to dispatch-time table staleness.
+        value = static_cast<int64_t>(
+            static_cast<uint64_t>(e->last) +
+            static_cast<uint64_t>(e->stride) * (ahead + 1));
+        return true;
+    }
+
+    void
+    update(uint64_t pc, int64_t actual) override
+    {
+        Entry &e = table.lookup(pc);
+        if (!e.seen) {
+            e.last = actual;
+            e.seen = true;
+            return;
+        }
+        int64_t new_stride = static_cast<int64_t>(
+            static_cast<uint64_t>(actual) -
+            static_cast<uint64_t>(e.last));
+        if (twoDelta) {
+            if (new_stride == e.lastStride)
+                e.stride = new_stride;
+            e.lastStride = new_stride;
+        } else {
+            e.stride = new_stride;
+        }
+        e.last = actual;
+    }
+
+    /** @return conflict (aliasing) rate of the underlying table. */
+    double tableConflictRate() const { return table.conflictRate(); }
+
+  private:
+    struct Entry
+    {
+        int64_t last = 0;
+        int64_t stride = 0;
+        int64_t lastStride = 0;
+        bool seen = false;
+    };
+
+    PcIndexedTable<Entry> table;
+    bool twoDelta;
+};
+
+} // namespace predictors
+} // namespace gdiff
+
+#endif // GDIFF_PREDICTORS_STRIDE_HH

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * PC-indexed prediction-table storage shared by the predictors.
+ *
+ * Two modes, selected by the entry count:
+ *  - entries == 0: "unlimited" — one entry per static PC (hash map),
+ *    used for the paper's idealised profile experiments;
+ *  - entries == 2^k: a tagless direct-mapped table indexed by PC bits,
+ *    the hardware-realistic mode. Aliasing is tracked (paper Fig. 9)
+ *    by remembering the last PC that touched each entry.
+ */
+
+#ifndef GDIFF_PREDICTORS_TABLE_HH
+#define GDIFF_PREDICTORS_TABLE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+namespace gdiff {
+namespace predictors {
+
+/**
+ * PC-indexed table of Entry.
+ *
+ * @tparam Entry default-constructible per-PC predictor state.
+ */
+template <typename Entry>
+class PcIndexedTable
+{
+  public:
+    /**
+     * @param entries 0 for unlimited, otherwise a power of two.
+     * @param hash_index when true, limited tables index with a mixed
+     *        hash of the PC instead of its low bits.
+     */
+    explicit PcIndexedTable(size_t entries = 0, bool hash_index = false)
+        : limit(entries), hashIndex(hash_index)
+    {
+        if (limit != 0) {
+            GDIFF_ASSERT(isPowerOfTwo(limit),
+                         "table size %zu is not a power of two", limit);
+            table.resize(limit);
+            owners.assign(limit, 0);
+        }
+    }
+
+    /**
+     * Locate the entry for @p pc (allocating in unlimited mode).
+     * In limited mode, notes whether a different PC owned the entry
+     * (an aliasing conflict) and takes ownership.
+     *
+     * @return reference to the entry (invalidated by later lookups in
+     * unlimited mode).
+     */
+    Entry &
+    lookup(uint64_t pc)
+    {
+        ++lookupCount;
+        if (limit == 0)
+            return mapped[pc];
+        size_t idx = indexOf(pc);
+        if (owners[idx] != 0 && owners[idx] != pc)
+            ++conflictCount;
+        owners[idx] = pc;
+        return table[idx];
+    }
+
+    /**
+     * Read-only probe: does not allocate, does not take ownership,
+     * does not count conflicts. @return nullptr if absent (unlimited
+     * mode only; limited tables always have an entry).
+     */
+    const Entry *
+    probe(uint64_t pc) const
+    {
+        if (limit == 0) {
+            auto it = mapped.find(pc);
+            return it == mapped.end() ? nullptr : &it->second;
+        }
+        return &table[indexOf(pc)];
+    }
+
+    /** @return configured entry count (0 = unlimited). */
+    size_t entries() const { return limit; }
+
+    /** @return number of lookups that hit a different PC's entry. */
+    uint64_t conflicts() const { return conflictCount; }
+
+    /** @return total lookups. */
+    uint64_t lookups() const { return lookupCount; }
+
+    /** @return conflicts/lookups in [0,1]. */
+    double
+    conflictRate() const
+    {
+        return lookupCount == 0
+                   ? 0.0
+                   : static_cast<double>(conflictCount) /
+                         static_cast<double>(lookupCount);
+    }
+
+  private:
+    size_t
+    indexOf(uint64_t pc) const
+    {
+        uint64_t key = pc >> 2; // instruction alignment
+        if (hashIndex)
+            key = mix64(key);
+        return static_cast<size_t>(key & (limit - 1));
+    }
+
+    size_t limit;
+    bool hashIndex;
+    std::vector<Entry> table;
+    std::vector<uint64_t> owners;
+    std::unordered_map<uint64_t, Entry> mapped;
+    uint64_t conflictCount = 0;
+    uint64_t lookupCount = 0;
+};
+
+} // namespace predictors
+} // namespace gdiff
+
+#endif // GDIFF_PREDICTORS_TABLE_HH

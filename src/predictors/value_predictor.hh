@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Abstract interface shared by every value predictor in the library
+ * (the local baselines in this directory and the gdiff predictor in
+ * src/core).
+ *
+ * The protocol mirrors the hardware: predict() is called when an
+ * instruction is dispatched, update() when its value becomes
+ * architecturally known (profile drivers call them back-to-back; the
+ * OOO pipeline separates them by the real dispatch-to-writeback
+ * latency, with in-flight instances in between).
+ */
+
+#ifndef GDIFF_PREDICTORS_VALUE_PREDICTOR_HH
+#define GDIFF_PREDICTORS_VALUE_PREDICTOR_HH
+
+#include <cstdint>
+#include <string>
+
+namespace gdiff {
+namespace predictors {
+
+/** Abstract PC-indexed value predictor. */
+class ValuePredictor
+{
+  public:
+    virtual ~ValuePredictor() = default;
+
+    /** @return a short display name ("stride", "dfcm", "gdiff", ...). */
+    virtual std::string name() const = 0;
+
+    /**
+     * Attempt a prediction for the value-producing instruction at pc.
+     *
+     * @param pc    instruction address.
+     * @param value set to the predicted value on success.
+     * @return true if the predictor produced a prediction.
+     */
+    virtual bool predict(uint64_t pc, int64_t &value) = 0;
+
+    /**
+     * Train on the actual produced value.
+     *
+     * @param pc     instruction address.
+     * @param actual the value the instruction produced.
+     */
+    virtual void update(uint64_t pc, int64_t actual) = 0;
+
+    /**
+     * Predict with in-flight compensation: in an OOO pipeline the
+     * table reflects the last *written-back* instance, while `ahead`
+     * instances of this PC are still in flight. Computational
+     * predictors can extrapolate across them (stride predictors
+     * classically do); the default falls back to predict().
+     *
+     * @param pc    instruction address.
+     * @param ahead number of in-flight instances of this PC.
+     * @param value set to the prediction on success.
+     */
+    virtual bool
+    predictAhead(uint64_t pc, unsigned ahead, int64_t &value)
+    {
+        (void)ahead;
+        return predict(pc, value);
+    }
+};
+
+} // namespace predictors
+} // namespace gdiff
+
+#endif // GDIFF_PREDICTORS_VALUE_PREDICTOR_HH

@@ -1,0 +1,159 @@
+#include "sim/profile.hh"
+
+#include "util/logging.hh"
+
+namespace gdiff {
+namespace sim {
+
+// ------------------------------------------------- ValueProfileRunner
+
+ValueProfileRunner::ValueProfileRunner(const ProfileConfig &config)
+    : cfg(config)
+{
+}
+
+void
+ValueProfileRunner::addPredictor(predictors::ValuePredictor &p)
+{
+    preds.push_back(&p);
+    conf.emplace_back(cfg.confidence);
+    ProfileSeries s;
+    s.name = p.name();
+    series.push_back(std::move(s));
+}
+
+void
+ValueProfileRunner::run(workload::TraceSource &src)
+{
+    GDIFF_ASSERT(!preds.empty(), "no predictors registered");
+    uint64_t executed = 0;
+    uint64_t budget = cfg.warmupInstructions + cfg.maxInstructions;
+    workload::TraceRecord r;
+    while (executed < budget && src.next(r)) {
+        ++executed;
+        if (!r.producesValue())
+            continue;
+        bool measured = executed > cfg.warmupInstructions;
+        for (size_t i = 0; i < preds.size(); ++i) {
+            int64_t guess = 0;
+            bool predicted = preds[i]->predict(r.pc, guess);
+            bool correct = predicted && guess == r.value;
+            bool confident = predicted && conf[i].confident(r.pc);
+            if (measured) {
+                series[i].accuracyAll.record(correct);
+                series[i].coverage.record(confident);
+                if (confident)
+                    series[i].accuracyGated.record(correct);
+            }
+            if (predicted)
+                conf[i].train(r.pc, correct);
+            preds[i]->update(r.pc, r.value);
+        }
+    }
+}
+
+// ----------------------------------------------- AddressProfileRunner
+
+AddressProfileRunner::AddressProfileRunner(const ProfileConfig &config)
+    : cfg(config), dcache(mem::CacheConfig::paperDCache())
+{
+}
+
+void
+AddressProfileRunner::addPredictor(predictors::ValuePredictor &p)
+{
+    preds.push_back(&p);
+    conf.emplace_back(cfg.confidence);
+    AddressSeries s;
+    s.name = p.name();
+    series.push_back(std::move(s));
+}
+
+void
+AddressProfileRunner::setMarkov(predictors::MarkovPredictor &all,
+                                predictors::MarkovPredictor &misses)
+{
+    GDIFF_ASSERT(markovAll == nullptr, "Markov already registered");
+    markovAll = &all;
+    markovMiss = &misses;
+    AddressSeries s;
+    s.name = "markov";
+    series.push_back(std::move(s));
+}
+
+void
+AddressProfileRunner::run(workload::TraceSource &src)
+{
+    GDIFF_ASSERT(!preds.empty() || markovAll,
+                 "no predictors registered");
+    uint64_t executed = 0;
+    uint64_t budget = cfg.warmupInstructions + cfg.maxInstructions;
+    workload::TraceRecord r;
+    while (executed < budget && src.next(r)) {
+        ++executed;
+        // Stores keep the D-cache model honest but are not predicted.
+        if (r.isStore()) {
+            dcache.access(r.effAddr);
+            continue;
+        }
+        if (!r.isLoad())
+            continue;
+        bool measured = executed > cfg.warmupInstructions;
+        bool miss = !dcache.access(r.effAddr);
+        int64_t actual = static_cast<int64_t>(r.effAddr);
+
+        for (size_t i = 0; i < preds.size(); ++i) {
+            int64_t guess = 0;
+            bool predicted = preds[i]->predict(r.pc, guess);
+            bool correct = predicted && guess == actual;
+            bool confident = predicted && conf[i].confident(r.pc);
+            if (measured) {
+                series[i].coverageAll.record(confident);
+                if (confident)
+                    series[i].accuracyAll.record(correct);
+                if (miss) {
+                    series[i].coverageMiss.record(confident);
+                    if (confident)
+                        series[i].accuracyMiss.record(correct);
+                }
+            }
+            if (predicted)
+                conf[i].train(r.pc, correct);
+            preds[i]->update(r.pc, actual);
+        }
+
+        if (markovAll) {
+            AddressSeries &ms = series.back();
+            uint64_t guess = 0;
+            bool hit = markovAll->predict(guess);
+            bool correct = hit && guess == r.effAddr;
+            if (measured) {
+                ms.coverageAll.record(hit);
+                if (hit)
+                    ms.accuracyAll.record(correct);
+            }
+            markovAll->update(r.effAddr);
+
+            if (miss) {
+                uint64_t mguess = 0;
+                bool mhit = markovMiss->predict(mguess);
+                bool mcorrect = mhit && mguess == r.effAddr;
+                if (measured) {
+                    ms.coverageMiss.record(mhit);
+                    if (mhit)
+                        ms.accuracyMiss.record(mcorrect);
+                }
+                markovMiss->update(r.effAddr);
+            }
+        }
+    }
+}
+
+double
+AddressProfileRunner::dcacheMissRate() const
+{
+    return dcache.missRate();
+}
+
+} // namespace sim
+} // namespace gdiff

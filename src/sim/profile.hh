@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Profile-mode experiment drivers.
+ *
+ * These replay a workload's dynamic stream in architectural order and
+ * drive one or more value predictors with the predict-then-update
+ * protocol — the methodology behind the paper's Figs. 8, 9, 10
+ * (value streams) and the load-address study of Fig. 18.
+ */
+
+#ifndef GDIFF_SIM_PROFILE_HH
+#define GDIFF_SIM_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/cache.hh"
+#include "predictors/confidence.hh"
+#include "predictors/markov.hh"
+#include "predictors/value_predictor.hh"
+#include "stats/counter.hh"
+#include "workload/trace.hh"
+
+namespace gdiff {
+namespace sim {
+
+/** Common run-length parameters. */
+struct ProfileConfig
+{
+    /// dynamic instructions to measure
+    uint64_t maxInstructions = 2'000'000;
+    /// instructions executed first to warm predictors/caches; the
+    /// predictors train but the statistics are not recorded
+    uint64_t warmupInstructions = 200'000;
+    /// confidence policy for gated statistics
+    predictors::ConfidenceConfig confidence;
+};
+
+/** Per-predictor outcome of a profile run. */
+struct ProfileSeries
+{
+    std::string name;
+    stats::Ratio accuracyAll;   ///< correct / all eligible instructions
+    stats::Ratio accuracyGated; ///< correct confident / confident
+    stats::Ratio coverage;      ///< confident / all eligible
+};
+
+/**
+ * Replays the value stream of all value-producing instructions
+ * through a set of predictors (paper Figs. 8-10 methodology).
+ */
+class ValueProfileRunner
+{
+  public:
+    explicit ValueProfileRunner(const ProfileConfig &config);
+
+    /** Register a predictor (non-owning). Call before run(). */
+    void addPredictor(predictors::ValuePredictor &p);
+
+    /** Replay the source through every registered predictor. */
+    void run(workload::TraceSource &src);
+
+    /** @return one series per registered predictor, in order. */
+    const std::vector<ProfileSeries> &results() const { return series; }
+
+  private:
+    ProfileConfig cfg;
+    std::vector<predictors::ValuePredictor *> preds;
+    std::vector<predictors::ConfidenceTable> conf;
+    std::vector<ProfileSeries> series;
+};
+
+/** Results of the load-address study for one predictor. */
+struct AddressSeries
+{
+    std::string name;
+    stats::Ratio coverageAll;  ///< confident / all loads
+    stats::Ratio accuracyAll;  ///< correct confident / confident
+    stats::Ratio coverageMiss; ///< confident / missing loads
+    stats::Ratio accuracyMiss; ///< correct confident / confident misses
+};
+
+/**
+ * Replays the load-address stream (paper §6 / Fig. 18): PC-indexed
+ * predictors train on every load's address; Markov predictors train
+ * on the all-loads stream and on the miss stream respectively; a
+ * D-cache model classifies missing loads.
+ */
+class AddressProfileRunner
+{
+  public:
+    explicit AddressProfileRunner(const ProfileConfig &config);
+
+    /** Register a PC-indexed address predictor (non-owning). */
+    void addPredictor(predictors::ValuePredictor &p);
+
+    /**
+     * Register the Markov pair (non-owning): @p all trains on every
+     * load address, @p misses on the miss-address stream only.
+     */
+    void setMarkov(predictors::MarkovPredictor &all,
+                   predictors::MarkovPredictor &misses);
+
+    /** Replay the source. */
+    void run(workload::TraceSource &src);
+
+    /** @return PC-indexed predictor series, then (if registered) the
+     * Markov series. */
+    const std::vector<AddressSeries> &results() const { return series; }
+
+    /** @return the D-cache miss rate observed during the run. */
+    double dcacheMissRate() const;
+
+  private:
+    ProfileConfig cfg;
+    std::vector<predictors::ValuePredictor *> preds;
+    std::vector<predictors::ConfidenceTable> conf;
+    predictors::MarkovPredictor *markovAll = nullptr;
+    predictors::MarkovPredictor *markovMiss = nullptr;
+    std::vector<AddressSeries> series;
+    mem::Cache dcache;
+};
+
+} // namespace sim
+} // namespace gdiff
+
+#endif // GDIFF_SIM_PROFILE_HH

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Scalar statistics: counters, ratios, and running averages.
+ *
+ * These are deliberately simple value types; the simulator's
+ * experiment drivers aggregate them into stats::Table rows for the
+ * paper-style reports.
+ */
+
+#ifndef GDIFF_STATS_COUNTER_HH
+#define GDIFF_STATS_COUNTER_HH
+
+#include <cstdint>
+
+namespace gdiff {
+namespace stats {
+
+/** A monotonically increasing event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    /** Add one event. */
+    void increment() { ++count; }
+
+    /** Add n events. */
+    void add(uint64_t n) { count += n; }
+
+    /** @return the event count. */
+    uint64_t value() const { return count; }
+
+    /** Reset to zero. */
+    void reset() { count = 0; }
+
+  private:
+    uint64_t count = 0;
+};
+
+/**
+ * A hits-over-total ratio, the shape of every accuracy and coverage
+ * number in the paper.
+ */
+class Ratio
+{
+  public:
+    Ratio() = default;
+
+    /** Record one trial. @param hit true if the trial succeeded. */
+    void
+    record(bool hit)
+    {
+        ++total_;
+        if (hit)
+            ++hits_;
+    }
+
+    /** Record a pre-aggregated batch of trials. */
+    void
+    addBatch(uint64_t hits, uint64_t total)
+    {
+        hits_ += hits;
+        total_ += total;
+    }
+
+    /** @return number of successful trials. */
+    uint64_t hits() const { return hits_; }
+
+    /** @return number of trials. */
+    uint64_t total() const { return total_; }
+
+    /** @return hits/total in [0,1]; 0 when no trials were recorded. */
+    double
+    value() const
+    {
+        return total_ == 0 ? 0.0
+                           : static_cast<double>(hits_) /
+                                 static_cast<double>(total_);
+    }
+
+    /** @return the ratio as a percentage in [0,100]. */
+    double percent() const { return 100.0 * value(); }
+
+    /** Reset both numerator and denominator. */
+    void
+    reset()
+    {
+        hits_ = 0;
+        total_ = 0;
+    }
+
+  private:
+    uint64_t hits_ = 0;
+    uint64_t total_ = 0;
+};
+
+/** A running arithmetic mean over recorded samples. */
+class Average
+{
+  public:
+    Average() = default;
+
+    /** Record one sample. */
+    void
+    record(double sample)
+    {
+        sum += sample;
+        ++n;
+    }
+
+    /** @return the sample mean; 0 when no samples were recorded. */
+    double
+    value() const
+    {
+        return n == 0 ? 0.0 : sum / static_cast<double>(n);
+    }
+
+    /** @return number of recorded samples. */
+    uint64_t samples() const { return n; }
+
+    /** Reset to the empty state. */
+    void
+    reset()
+    {
+        sum = 0.0;
+        n = 0;
+    }
+
+  private:
+    double sum = 0.0;
+    uint64_t n = 0;
+};
+
+} // namespace stats
+} // namespace gdiff
+
+#endif // GDIFF_STATS_COUNTER_HH

@@ -1,0 +1,62 @@
+#include "histogram.hh"
+
+#include "util/logging.hh"
+
+namespace gdiff {
+namespace stats {
+
+Histogram::Histogram(size_t num_buckets)
+    : counts(num_buckets, 0)
+{
+    GDIFF_ASSERT(num_buckets >= 1, "Histogram needs >= 1 bucket");
+}
+
+void
+Histogram::record(uint64_t sample)
+{
+    if (sample < counts.size())
+        ++counts[sample];
+    else
+        ++overflowCount;
+    ++sampleCount;
+    sum += static_cast<double>(sample);
+    if (sample > maxSeen)
+        maxSeen = sample;
+}
+
+uint64_t
+Histogram::bucket(size_t b) const
+{
+    GDIFF_ASSERT(b < counts.size(), "bucket %zu out of range", b);
+    return counts[b];
+}
+
+double
+Histogram::fraction(size_t b) const
+{
+    if (sampleCount == 0)
+        return 0.0;
+    return static_cast<double>(bucket(b)) /
+           static_cast<double>(sampleCount);
+}
+
+double
+Histogram::mean() const
+{
+    return sampleCount == 0 ? 0.0
+                            : sum / static_cast<double>(sampleCount);
+}
+
+void
+Histogram::reset()
+{
+    for (auto &c : counts)
+        c = 0;
+    overflowCount = 0;
+    sampleCount = 0;
+    sum = 0.0;
+    maxSeen = 0;
+}
+
+} // namespace stats
+} // namespace gdiff

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Integer-valued histogram with overflow bucket, used for the value
+ * delay distribution (paper Fig. 12) and cache/pipeline diagnostics.
+ */
+
+#ifndef GDIFF_STATS_HISTOGRAM_HH
+#define GDIFF_STATS_HISTOGRAM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gdiff {
+namespace stats {
+
+/**
+ * Histogram over non-negative integer samples 0..numBuckets-1, with
+ * samples >= numBuckets accumulated into an overflow bucket.
+ */
+class Histogram
+{
+  public:
+    /** @param num_buckets number of in-range buckets (>= 1). */
+    explicit Histogram(size_t num_buckets);
+
+    /** Record one sample. */
+    void record(uint64_t sample);
+
+    /** @return the count in bucket b (b < numBuckets()). */
+    uint64_t bucket(size_t b) const;
+
+    /** @return the count of samples >= numBuckets(). */
+    uint64_t overflow() const { return overflowCount; }
+
+    /** @return total samples recorded. */
+    uint64_t samples() const { return sampleCount; }
+
+    /** @return the number of in-range buckets. */
+    size_t numBuckets() const { return counts.size(); }
+
+    /** @return bucket b as a fraction of all samples (0 if empty). */
+    double fraction(size_t b) const;
+
+    /** @return the mean of all recorded samples (overflow samples
+     * contribute their true values). */
+    double mean() const;
+
+    /** @return the largest sample seen so far (0 if none). */
+    uint64_t maxSample() const { return maxSeen; }
+
+    /** Reset all buckets. */
+    void reset();
+
+  private:
+    std::vector<uint64_t> counts;
+    uint64_t overflowCount = 0;
+    uint64_t sampleCount = 0;
+    double sum = 0.0;
+    uint64_t maxSeen = 0;
+};
+
+} // namespace stats
+} // namespace gdiff
+
+#endif // GDIFF_STATS_HISTOGRAM_HH

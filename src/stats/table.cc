@@ -1,0 +1,131 @@
+#include "table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace gdiff {
+namespace stats {
+
+Table::Table(std::string title, std::string row_label)
+    : title(std::move(title)), rowLabelHeader(std::move(row_label))
+{
+}
+
+void
+Table::addColumn(const std::string &header)
+{
+    GDIFF_ASSERT(rows.empty(),
+                 "columns must be declared before any row is added");
+    columns.push_back(header);
+}
+
+void
+Table::beginRow(const std::string &label)
+{
+    if (!rows.empty()) {
+        GDIFF_ASSERT(rows.back().cells.size() == columns.size(),
+                     "row '%s' has %zu cells, expected %zu",
+                     rows.back().label.c_str(),
+                     rows.back().cells.size(), columns.size());
+    }
+    rows.push_back(Row{label, {}});
+}
+
+void
+Table::cell(const std::string &text)
+{
+    GDIFF_ASSERT(!rows.empty(), "cell() before beginRow()");
+    GDIFF_ASSERT(rows.back().cells.size() < columns.size(),
+                 "too many cells in row '%s'", rows.back().label.c_str());
+    rows.back().cells.push_back(text);
+}
+
+void
+Table::cellInt(long long v)
+{
+    cell(std::to_string(v));
+}
+
+void
+Table::cellDouble(double v, int precision)
+{
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(precision) << v;
+    cell(ss.str());
+}
+
+void
+Table::cellPercent(double fraction, int precision)
+{
+    std::ostringstream ss;
+    ss << std::fixed << std::setprecision(precision)
+       << (100.0 * fraction) << "%";
+    cell(ss.str());
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<size_t> widths;
+    widths.push_back(rowLabelHeader.size());
+    for (const auto &c : columns)
+        widths.push_back(c.size());
+    for (const auto &r : rows) {
+        widths[0] = std::max(widths[0], r.label.size());
+        for (size_t i = 0; i < r.cells.size(); ++i)
+            widths[i + 1] = std::max(widths[i + 1], r.cells[i].size());
+    }
+
+    os << "== " << title << " ==\n";
+
+    auto pad = [&os](const std::string &s, size_t w, bool left) {
+        if (left) {
+            os << s << std::string(w - s.size(), ' ');
+        } else {
+            os << std::string(w - s.size(), ' ') << s;
+        }
+    };
+
+    pad(rowLabelHeader, widths[0], true);
+    for (size_t i = 0; i < columns.size(); ++i) {
+        os << "  ";
+        pad(columns[i], widths[i + 1], false);
+    }
+    os << '\n';
+
+    size_t total = widths[0];
+    for (size_t i = 1; i < widths.size(); ++i)
+        total += widths[i] + 2;
+    os << std::string(total, '-') << '\n';
+
+    for (const auto &r : rows) {
+        pad(r.label, widths[0], true);
+        for (size_t i = 0; i < r.cells.size(); ++i) {
+            os << "  ";
+            pad(r.cells[i], widths[i + 1], false);
+        }
+        os << '\n';
+    }
+    os << '\n';
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    os << rowLabelHeader;
+    for (const auto &c : columns)
+        os << ',' << c;
+    os << '\n';
+    for (const auto &r : rows) {
+        os << r.label;
+        for (const auto &c : r.cells)
+            os << ',' << c;
+        os << '\n';
+    }
+}
+
+} // namespace stats
+} // namespace gdiff

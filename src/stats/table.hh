@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Aligned text tables for the paper-style reports printed by every
+ * benchmark harness (one row per benchmark, one column per
+ * configuration/series, mirroring the paper's figures).
+ */
+
+#ifndef GDIFF_STATS_TABLE_HH
+#define GDIFF_STATS_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gdiff {
+namespace stats {
+
+/**
+ * A simple column-aligned table. Rows are added label-first, then one
+ * cell per column; cells may be text, integers, floating-point
+ * numbers, or percentages.
+ */
+class Table
+{
+  public:
+    /**
+     * @param title     caption printed above the table.
+     * @param row_label header of the leftmost (label) column.
+     */
+    Table(std::string title, std::string row_label);
+
+    /** Append a data column. @param header column header text. */
+    void addColumn(const std::string &header);
+
+    /** Start a new row. @param label row label (leftmost cell). */
+    void beginRow(const std::string &label);
+
+    /** Append a text cell to the current row. */
+    void cell(const std::string &text);
+
+    /** Append an integer cell. */
+    void cellInt(long long v);
+
+    /** Append a floating-point cell with the given precision. */
+    void cellDouble(double v, int precision = 3);
+
+    /** Append a percentage cell rendered as e.g. "73.1%".
+     * @param fraction value in [0,1]. */
+    void cellPercent(double fraction, int precision = 1);
+
+    /** @return number of data rows added so far. */
+    size_t numRows() const { return rows.size(); }
+
+    /** @return number of data columns declared. */
+    size_t numColumns() const { return columns.size(); }
+
+    /** Render the table, aligned, to the stream. */
+    void print(std::ostream &os) const;
+
+    /** Render the table as CSV (for plotting scripts). */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    struct Row
+    {
+        std::string label;
+        std::vector<std::string> cells;
+    };
+
+    std::string title;
+    std::string rowLabelHeader;
+    std::vector<std::string> columns;
+    std::vector<Row> rows;
+};
+
+} // namespace stats
+} // namespace gdiff
+
+#endif // GDIFF_STATS_TABLE_HH

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload kernels.
+ *
+ * All randomness in the simulator flows through Xorshift64Star so that
+ * every experiment is exactly reproducible from its seed. The
+ * generator is splittable: fork() derives an independent stream, which
+ * lets each workload kernel own private randomness without coupling
+ * kernels through a shared global stream.
+ */
+
+#ifndef GDIFF_UTIL_RANDOM_HH
+#define GDIFF_UTIL_RANDOM_HH
+
+#include <cstdint>
+
+namespace gdiff {
+
+/**
+ * xorshift64* PRNG (Vigna, 2016). Small, fast, and good enough for
+ * workload synthesis; not cryptographic.
+ */
+class Xorshift64Star
+{
+  public:
+    /** Construct from a seed; a zero seed is remapped (state 0 is a
+     * fixed point of xorshift). */
+    explicit Xorshift64Star(uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : state(seed ? seed : 0x9e3779b97f4a7c15ull)
+    {}
+
+    /** @return the next raw 64-bit output. */
+    uint64_t
+    next()
+    {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        return state * 0x2545f4914f6cdd1dull;
+    }
+
+    /**
+     * @return a uniformly distributed integer in [0, bound).
+     * @param bound exclusive upper bound; must be non-zero.
+     */
+    uint64_t
+    below(uint64_t bound)
+    {
+        // Multiply-shift reduction (Lemire); bias is negligible for
+        // the bounds used by the workload kernels.
+        return static_cast<uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** @return a uniform integer in the inclusive range [lo, hi]. */
+    int64_t
+    inRange(int64_t lo, int64_t hi)
+    {
+        return lo + static_cast<int64_t>(
+            below(static_cast<uint64_t>(hi - lo) + 1));
+    }
+
+    /** @return true with probability (percent / 100). */
+    bool
+    chancePercent(unsigned percent)
+    {
+        return below(100) < percent;
+    }
+
+    /** @return a uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /**
+     * Derive an independent child generator. The child stream is
+     * decorrelated from the parent by a SplitMix64 scramble.
+     */
+    Xorshift64Star
+    fork()
+    {
+        uint64_t z = next() + 0x9e3779b97f4a7c15ull;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return Xorshift64Star(z ^ (z >> 31));
+    }
+
+    /** @return the raw generator state (for checkpoint/debug). */
+    uint64_t rawState() const { return state; }
+
+  private:
+    uint64_t state;
+};
+
+} // namespace gdiff
+
+#endif // GDIFF_UTIL_RANDOM_HH

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Saturating counter, the basic building block of confidence
+ * estimators and branch predictors.
+ */
+
+#ifndef GDIFF_UTIL_SAT_COUNTER_HH
+#define GDIFF_UTIL_SAT_COUNTER_HH
+
+#include <cstdint>
+
+#include "logging.hh"
+
+namespace gdiff {
+
+/**
+ * An unsigned saturating counter with a configurable bit width and
+ * configurable increment/decrement step sizes.
+ *
+ * The paper's confidence mechanism (§4) is a 3-bit counter that adds 2
+ * on a correct prediction, subtracts 1 on an incorrect one, and gates
+ * predictions at a threshold of 4; that instance is provided by
+ * makePaperConfidenceCounter().
+ */
+class SatCounter
+{
+  public:
+    /**
+     * @param bits   counter width in bits (1..16).
+     * @param up     amount added on increment().
+     * @param down   amount subtracted on decrement().
+     * @param initial initial counter value (clamped to the maximum).
+     */
+    explicit SatCounter(unsigned bits = 2, unsigned up = 1,
+                        unsigned down = 1, unsigned initial = 0)
+        : maxValue((1u << bits) - 1), upStep(up), downStep(down),
+          count(initial > maxValue ? maxValue : initial)
+    {
+        GDIFF_ASSERT(bits >= 1 && bits <= 16, "bad counter width %u",
+                     bits);
+    }
+
+    /** Add the up-step, saturating at the maximum. */
+    void
+    increment()
+    {
+        count = (count + upStep > maxValue) ? maxValue : count + upStep;
+    }
+
+    /** Subtract the down-step, saturating at zero. */
+    void
+    decrement()
+    {
+        count = (count < downStep) ? 0 : count - downStep;
+    }
+
+    /** Reset the counter to zero. */
+    void reset() { count = 0; }
+
+    /** @return the current counter value. */
+    unsigned value() const { return count; }
+
+    /** @return the saturation maximum. */
+    unsigned max() const { return maxValue; }
+
+    /** @return true if value() >= threshold. */
+    bool atLeast(unsigned threshold) const { return count >= threshold; }
+
+  private:
+    unsigned maxValue;
+    unsigned upStep;
+    unsigned downStep;
+    unsigned count;
+};
+
+/**
+ * The exact confidence counter used throughout the paper's
+ * experiments: 3 bits, +2 on correct, -1 on incorrect, confident at
+ * counts >= 4.
+ */
+inline SatCounter
+makePaperConfidenceCounter()
+{
+    return SatCounter(3, 2, 1, 0);
+}
+
+/** Confidence threshold used by the paper's experiments. */
+inline constexpr unsigned paperConfidenceThreshold = 4;
+
+} // namespace gdiff
+
+#endif // GDIFF_UTIL_SAT_COUNTER_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Text assembler for the synthetic ISA.
+ *
+ * Turns `.s`-style source into a Program (or a full Workload with
+ * data/register directives), so kernels and test programs can live in
+ * plain text files and be fed to gdiffsim without recompiling.
+ *
+ * Syntax:
+ *
+ *     # comments run to end of line
+ *     .reg  s1 0x10000000       # initial register value
+ *     .word 0x10000000 42       # initial memory word
+ *     loop:                     # labels end with ':'
+ *         ld   t1, 0(s1)        # loads/stores use off(base)
+ *         addi s1, s1, 8
+ *         bne  t1, zero, loop   # branches take a label
+ *         halt
+ *
+ * Registers accept both symbolic names (zero, v0..v1, a0..a3,
+ * t0..t9, s0..s8, fp, gp, sp, ra) and raw r0..r31. Immediates are
+ * decimal or 0x-hex, optionally negative.
+ *
+ * Errors (unknown mnemonic, bad operand, unbound label, ...) are
+ * fatal() with the line number.
+ */
+
+#ifndef GDIFF_WORKLOAD_ASSEMBLER_HH
+#define GDIFF_WORKLOAD_ASSEMBLER_HH
+
+#include <string>
+
+#include "isa/program.hh"
+#include "workload/workload.hh"
+
+namespace gdiff {
+namespace workload {
+
+/**
+ * Assemble instruction text into a Program. Directives (.reg/.word)
+ * are rejected here — use assembleWorkload() for full sources.
+ *
+ * @param source assembly text.
+ * @param name   program name.
+ */
+isa::Program assemble(const std::string &source,
+                      const std::string &name = "asm");
+
+/**
+ * Assemble a full workload: instructions plus .reg/.word directives
+ * for the initial machine state. Labels become workload markers.
+ */
+Workload assembleWorkload(const std::string &source,
+                          const std::string &name = "asm");
+
+/** Read a file and assembleWorkload() its contents. */
+Workload assembleWorkloadFile(const std::string &path);
+
+} // namespace workload
+} // namespace gdiff
+
+#endif // GDIFF_WORKLOAD_ASSEMBLER_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Factory functions for the ten SPECint2000-like workload kernels.
+ *
+ * Each kernel is a synthetic program whose *code structure* induces
+ * the value-locality mix the paper attributes to the corresponding
+ * SPECint2000 benchmark. The kernels share layout conventions:
+ *
+ *  - data segment from 0x10000000 upward,
+ *  - stack frames around 0x7fff0000 (s8 is the frame pointer),
+ *  - all memory words are 64-bit.
+ */
+
+#ifndef GDIFF_WORKLOAD_KERNELS_HH
+#define GDIFF_WORKLOAD_KERNELS_HH
+
+#include <cstdint>
+
+#include "workload/workload.hh"
+
+namespace gdiff {
+namespace workload {
+namespace kernels {
+
+/** Base address of every kernel's data segment. */
+inline constexpr uint64_t dataBase = 0x10000000;
+
+/** Frame-pointer address shared by the kernels' stack idioms. */
+inline constexpr uint64_t frameBase = 0x7fff0000;
+
+/** Block-sorting compressor: strided buffer scans, run-length loops. */
+Workload makeBzip2(uint64_t seed);
+
+/** Computer algebra: long hard-to-predict computation chains whose
+ * only correlations sit at global distances beyond a small GVQ. */
+Workload makeGap(uint64_t seed);
+
+/** Compiler: many generated basic blocks, irregular unbalanced
+ * control paths, mixed locality, large static footprint. */
+Workload makeGcc(uint64_t seed);
+
+/** LZ77 compressor: hash-chain lookups plus strided copy loops. */
+Workload makeGzip(uint64_t seed);
+
+/** Network simplex: pointer chasing over sequentially allocated
+ * arc/node arrays, cache-hostile working set, strong global stride. */
+Workload makeMcf(uint64_t seed);
+
+/** Natural-language parser: register spill/fill reloads (paper
+ * Figs. 1-2) and sequentially allocated string_list nodes (Fig. 4). */
+Workload makeParser(uint64_t seed);
+
+/** Interpreter: bytecode dispatch loop, operand-stack traffic. */
+Workload makePerl(uint64_t seed);
+
+/** Standard-cell placer: struct-field difference computations over
+ * sequentially allocated cells. */
+Workload makeTwolf(uint64_t seed);
+
+/** OO database: deep call chains with register save/restore. */
+Workload makeVortex(uint64_t seed);
+
+/** FPGA place & route: nested grid loops, strided addressing. */
+Workload makeVpr(uint64_t seed);
+
+} // namespace kernels
+} // namespace workload
+} // namespace gdiff
+
+#endif // GDIFF_WORKLOAD_KERNELS_HH

@@ -1,0 +1,31 @@
+#include "workload/memory.hh"
+
+#include "util/logging.hh"
+
+namespace gdiff {
+namespace workload {
+
+int64_t
+Memory::read64(uint64_t addr) const
+{
+    GDIFF_ASSERT((addr & 7) == 0, "unaligned read at 0x%llx",
+                 static_cast<unsigned long long>(addr));
+    auto it = pages.find(addr >> pageShift);
+    if (it == pages.end())
+        return 0;
+    return (*it->second)[(addr & (pageBytes - 1)) >> 3];
+}
+
+void
+Memory::write64(uint64_t addr, int64_t value)
+{
+    GDIFF_ASSERT((addr & 7) == 0, "unaligned write at 0x%llx",
+                 static_cast<unsigned long long>(addr));
+    auto &page = pages[addr >> pageShift];
+    if (!page)
+        page = std::make_unique<Page>();
+    (*page)[(addr & (pageBytes - 1)) >> 3] = value;
+}
+
+} // namespace workload
+} // namespace gdiff

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Sparse, paged functional memory for the synthetic-ISA executor.
+ */
+
+#ifndef GDIFF_WORKLOAD_MEMORY_HH
+#define GDIFF_WORKLOAD_MEMORY_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+namespace gdiff {
+namespace workload {
+
+/**
+ * A sparse 64-bit address space of 64-bit words, allocated in 4 KiB
+ * pages on first touch. Unwritten memory reads as zero, matching how
+ * the kernels' data segments are initialised explicitly before a run.
+ *
+ * All accesses are 8-byte words and must be 8-byte aligned; the
+ * workload kernels never do sub-word accesses (sub-word behaviour is
+ * irrelevant to the value streams under study).
+ */
+class Memory
+{
+  public:
+    Memory() = default;
+
+    /**
+     * Read the 64-bit word at an 8-byte-aligned byte address.
+     * @param addr byte address (must be 8-byte aligned).
+     */
+    int64_t read64(uint64_t addr) const;
+
+    /**
+     * Write the 64-bit word at an 8-byte-aligned byte address.
+     * @param addr byte address (must be 8-byte aligned).
+     * @param value word to store.
+     */
+    void write64(uint64_t addr, int64_t value);
+
+    /** @return the number of currently allocated 4 KiB pages. */
+    size_t allocatedPages() const { return pages.size(); }
+
+    /** Drop all contents. */
+    void clear() { pages.clear(); }
+
+  private:
+    static constexpr uint64_t pageShift = 12;
+    static constexpr uint64_t pageBytes = uint64_t(1) << pageShift;
+    static constexpr uint64_t wordsPerPage = pageBytes / 8;
+
+    using Page = std::array<int64_t, wordsPerPage>;
+
+    std::unordered_map<uint64_t, std::unique_ptr<Page>> pages;
+};
+
+} // namespace workload
+} // namespace gdiff
+
+#endif // GDIFF_WORKLOAD_MEMORY_HH

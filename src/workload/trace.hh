@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Dynamic trace records: the interface between functional execution
+ * and everything downstream (profile drivers, the timing pipeline,
+ * and the predictors).
+ */
+
+#ifndef GDIFF_WORKLOAD_TRACE_HH
+#define GDIFF_WORKLOAD_TRACE_HH
+
+#include <cstdint>
+
+#include "isa/instruction.hh"
+
+namespace gdiff {
+namespace workload {
+
+/**
+ * One retired dynamic instruction. Carries the static instruction
+ * plus everything the execution determined: the produced value, the
+ * effective address, and the control-flow outcome.
+ */
+struct TraceRecord
+{
+    isa::Instruction inst;   ///< the static instruction
+    uint64_t seq = 0;        ///< dynamic instruction number (0-based)
+    uint64_t pc = 0;         ///< byte PC of this instruction
+    uint64_t nextPc = 0;     ///< byte PC of the next instruction
+    int64_t value = 0;       ///< produced value (if producesValue())
+    uint64_t effAddr = 0;    ///< effective address (loads/stores)
+    bool taken = false;      ///< control-flow outcome (control ops)
+
+    /** @return true if this instruction produced a predictable value. */
+    bool producesValue() const { return inst.producesValue(); }
+
+    /** @return true for loads. */
+    bool isLoad() const { return isa::isLoad(inst.op); }
+
+    /** @return true for stores. */
+    bool isStore() const { return isa::isStore(inst.op); }
+
+    /** @return true for conditional branches. */
+    bool isCondBranch() const { return isa::isCondBranch(inst.op); }
+
+    /** @return true for any control-transfer instruction. */
+    bool isControl() const { return isa::isControl(inst.op); }
+};
+
+/**
+ * Abstract producer of a dynamic instruction stream.
+ *
+ * Implementations: workload::Executor (functional execution of a
+ * synthetic kernel) and test fixtures that replay canned sequences.
+ */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Produce the next dynamic instruction.
+     *
+     * @param out filled with the next record on success.
+     * @return false when the stream has ended (program halted).
+     */
+    virtual bool next(TraceRecord &out) = 0;
+};
+
+} // namespace workload
+} // namespace gdiff
+
+#endif // GDIFF_WORKLOAD_TRACE_HH

@@ -1,0 +1,176 @@
+#include "workload/trace_io.hh"
+
+#include <array>
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace gdiff {
+namespace workload {
+
+namespace {
+
+constexpr uint32_t traceMagic = 0x52544447; // "GDTR" little-endian
+constexpr uint32_t traceVersion = 1;
+constexpr size_t recordBytes = 64;
+
+struct FileHeader
+{
+    uint32_t magic;
+    uint32_t version;
+    uint64_t count;
+};
+static_assert(sizeof(FileHeader) == 16, "header layout");
+
+/** Fixed-width on-disk record. */
+struct DiskRecord
+{
+    uint64_t seq;
+    uint64_t pc;
+    uint64_t nextPc;
+    int64_t value;
+    uint64_t effAddr;
+    int64_t imm;
+    uint32_t target;
+    uint8_t op;
+    uint8_t rd;
+    uint8_t rs1;
+    uint8_t rs2;
+    uint8_t taken;
+    uint8_t pad[7];
+};
+static_assert(sizeof(DiskRecord) == recordBytes, "record layout");
+
+DiskRecord
+pack(const TraceRecord &r)
+{
+    DiskRecord d{};
+    d.seq = r.seq;
+    d.pc = r.pc;
+    d.nextPc = r.nextPc;
+    d.value = r.value;
+    d.effAddr = r.effAddr;
+    d.imm = r.inst.imm;
+    d.target = r.inst.target;
+    d.op = static_cast<uint8_t>(r.inst.op);
+    d.rd = r.inst.rd;
+    d.rs1 = r.inst.rs1;
+    d.rs2 = r.inst.rs2;
+    d.taken = r.taken ? 1 : 0;
+    return d;
+}
+
+TraceRecord
+unpack(const DiskRecord &d)
+{
+    TraceRecord r;
+    r.seq = d.seq;
+    r.pc = d.pc;
+    r.nextPc = d.nextPc;
+    r.value = d.value;
+    r.effAddr = d.effAddr;
+    r.inst.imm = d.imm;
+    r.inst.target = d.target;
+    r.inst.op = static_cast<isa::Opcode>(d.op);
+    r.inst.rd = d.rd;
+    r.inst.rs1 = d.rs1;
+    r.inst.rs2 = d.rs2;
+    r.taken = d.taken != 0;
+    return r;
+}
+
+} // anonymous namespace
+
+// ----------------------------------------------------------- TraceWriter
+
+TraceWriter::TraceWriter(const std::string &path)
+{
+    file = std::fopen(path.c_str(), "wb");
+    if (!file)
+        fatal("cannot create trace file '%s'", path.c_str());
+    FileHeader h{traceMagic, traceVersion, 0};
+    if (std::fwrite(&h, sizeof(h), 1, file) != 1)
+        fatal("cannot write trace header to '%s'", path.c_str());
+}
+
+TraceWriter::~TraceWriter()
+{
+    close();
+}
+
+void
+TraceWriter::append(const TraceRecord &r)
+{
+    GDIFF_ASSERT(file != nullptr, "append to a closed TraceWriter");
+    DiskRecord d = pack(r);
+    if (std::fwrite(&d, sizeof(d), 1, file) != 1)
+        fatal("short write while appending a trace record");
+    ++count;
+}
+
+void
+TraceWriter::close()
+{
+    if (!file)
+        return;
+    // Finalise the record count in the header.
+    FileHeader h{traceMagic, traceVersion, count};
+    if (std::fseek(file, 0, SEEK_SET) != 0 ||
+        std::fwrite(&h, sizeof(h), 1, file) != 1) {
+        fatal("cannot finalise trace header");
+    }
+    std::fclose(file);
+    file = nullptr;
+}
+
+// ------------------------------------------------------ TraceFileSource
+
+TraceFileSource::TraceFileSource(const std::string &path)
+{
+    file = std::fopen(path.c_str(), "rb");
+    if (!file)
+        fatal("cannot open trace file '%s'", path.c_str());
+    FileHeader h{};
+    if (std::fread(&h, sizeof(h), 1, file) != 1)
+        fatal("trace file '%s' is truncated", path.c_str());
+    if (h.magic != traceMagic)
+        fatal("'%s' is not a gdiff trace (bad magic)", path.c_str());
+    if (h.version != traceVersion) {
+        fatal("trace '%s' has version %u, expected %u", path.c_str(),
+              h.version, traceVersion);
+    }
+    total = h.count;
+}
+
+TraceFileSource::~TraceFileSource()
+{
+    if (file)
+        std::fclose(file);
+}
+
+bool
+TraceFileSource::next(TraceRecord &out)
+{
+    if (consumed >= total)
+        return false;
+    DiskRecord d{};
+    if (std::fread(&d, sizeof(d), 1, file) != 1)
+        fatal("trace truncated after %llu of %llu records",
+              static_cast<unsigned long long>(consumed),
+              static_cast<unsigned long long>(total));
+    out = unpack(d);
+    ++consumed;
+    return true;
+}
+
+void
+TraceFileSource::rewind()
+{
+    GDIFF_ASSERT(file != nullptr, "rewind of a closed trace");
+    if (std::fseek(file, sizeof(FileHeader), SEEK_SET) != 0)
+        fatal("cannot rewind trace file");
+    consumed = 0;
+}
+
+} // namespace workload
+} // namespace gdiff

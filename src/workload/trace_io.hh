@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Binary trace files: record a kernel's dynamic stream once, replay
+ * it many times (SimpleScalar-style trace-driven methodology, and the
+ * natural interchange point for driving the predictors from traces
+ * produced elsewhere).
+ *
+ * Format: a 16-byte header (magic "GDTR", version, record count)
+ * followed by fixed-width 64-byte little-endian records. The format
+ * is versioned and validated on open; readers reject mismatched
+ * magic/version and truncated files.
+ */
+
+#ifndef GDIFF_WORKLOAD_TRACE_IO_HH
+#define GDIFF_WORKLOAD_TRACE_IO_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "workload/trace.hh"
+
+namespace gdiff {
+namespace workload {
+
+/** Writes TraceRecords to a binary trace file. */
+class TraceWriter
+{
+  public:
+    /**
+     * Open @p path for writing (truncates). Calls fatal() if the
+     * file cannot be created.
+     */
+    explicit TraceWriter(const std::string &path);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /** Append one record. */
+    void append(const TraceRecord &r);
+
+    /** Flush, finalise the header, and close. Idempotent. */
+    void close();
+
+    /** @return records written so far. */
+    uint64_t written() const { return count; }
+
+  private:
+    std::FILE *file = nullptr;
+    uint64_t count = 0;
+};
+
+/**
+ * Replays a binary trace file as a TraceSource.
+ */
+class TraceFileSource : public TraceSource
+{
+  public:
+    /**
+     * Open @p path. Calls fatal() on missing file, bad magic, or
+     * version mismatch.
+     */
+    explicit TraceFileSource(const std::string &path);
+    ~TraceFileSource() override;
+
+    TraceFileSource(const TraceFileSource &) = delete;
+    TraceFileSource &operator=(const TraceFileSource &) = delete;
+
+    bool next(TraceRecord &out) override;
+
+    /** @return total records the header promises. */
+    uint64_t totalRecords() const { return total; }
+
+    /** Rewind to the first record (for multi-pass experiments). */
+    void rewind();
+
+  private:
+    std::FILE *file = nullptr;
+    uint64_t total = 0;
+    uint64_t consumed = 0;
+};
+
+} // namespace workload
+} // namespace gdiff
+
+#endif // GDIFF_WORKLOAD_TRACE_IO_HH

@@ -1,0 +1,72 @@
+#include "workload/workload.hh"
+
+#include "util/logging.hh"
+#include "workload/kernels.hh"
+#include "workload/micro.hh"
+
+namespace gdiff {
+namespace workload {
+
+std::unique_ptr<Executor>
+Workload::makeExecutor() const
+{
+    auto exec = std::make_unique<Executor>(program);
+    for (const auto &[addr, val] : memoryImage)
+        exec->memory().write64(addr, val);
+    for (unsigned r = 0; r < isa::numRegs; ++r)
+        exec->setReg(static_cast<isa::Reg>(r), initialRegs[r]);
+    return exec;
+}
+
+uint64_t
+Workload::markerPc(const std::string &name) const
+{
+    for (const auto &[n, pc] : markers) {
+        if (n == name)
+            return pc;
+    }
+    fatal("workload '%s' has no marker '%s'", program.name().c_str(),
+          name.c_str());
+}
+
+const std::vector<std::string> &
+specWorkloadNames()
+{
+    static const std::vector<std::string> names = {
+        "bzip2", "gap", "gcc", "gzip", "mcf",
+        "parser", "perl", "twolf", "vortex", "vpr",
+    };
+    return names;
+}
+
+Workload
+makeWorkload(const std::string &name, uint64_t seed)
+{
+    using namespace kernels;
+    if (name.rfind("micro.", 0) == 0)
+        return makeMicroWorkload(name.substr(6), seed);
+    if (name == "bzip2")
+        return makeBzip2(seed);
+    if (name == "gap")
+        return makeGap(seed);
+    if (name == "gcc")
+        return makeGcc(seed);
+    if (name == "gzip")
+        return makeGzip(seed);
+    if (name == "mcf")
+        return makeMcf(seed);
+    if (name == "parser")
+        return makeParser(seed);
+    if (name == "perl")
+        return makePerl(seed);
+    if (name == "twolf")
+        return makeTwolf(seed);
+    if (name == "vortex")
+        return makeVortex(seed);
+    if (name == "vpr")
+        return makeVpr(seed);
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+} // namespace workload
+} // namespace gdiff

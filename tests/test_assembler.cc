@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Assembler tests: text round-trips through the disassembler,
+ * directives build full workloads, labels resolve in both directions,
+ * and malformed sources die with line numbers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/assembler.hh"
+#include "workload/executor.hh"
+
+namespace gdiff {
+namespace workload {
+namespace {
+
+TEST(Assembler, AluAndMemoryFormats)
+{
+    isa::Program p = assemble(R"(
+        # a small mixed program
+        li   t0, 0x100
+        addi t1, t0, -8
+        add  t2, t0, t1
+        sub  t3, t2, t0
+        sd   t3, 16(t0)
+        ld   t4, 16(t0)
+        halt
+    )");
+    ASSERT_EQ(p.size(), 7u);
+    EXPECT_EQ(p.at(0).toString(), "li r8, 256");
+    EXPECT_EQ(p.at(1).toString(), "addi r9, r8, -8");
+    EXPECT_EQ(p.at(4).toString(), "sd r11, 16(r8)");
+    EXPECT_EQ(p.at(5).toString(), "ld r12, 16(r8)");
+}
+
+TEST(Assembler, ExecutesCorrectly)
+{
+    isa::Program p = assemble(R"(
+        li   s1, 10
+        li   s2, 0
+    loop:
+        addi s2, s2, 3
+        addi s1, s1, -1
+        bne  s1, zero, loop
+        halt
+    )");
+    Executor e(p);
+    TraceRecord r;
+    while (e.next(r)) {
+    }
+    EXPECT_EQ(e.reg(isa::reg::s2), 30);
+    EXPECT_EQ(e.reg(isa::reg::s1), 0);
+}
+
+TEST(Assembler, ForwardLabelsAndJumps)
+{
+    isa::Program p = assemble(R"(
+        j skip
+        li t0, 111
+    skip:
+        li t1, 222
+        halt
+    )");
+    EXPECT_EQ(p.at(0).target, 2u);
+    Executor e(p);
+    TraceRecord r;
+    while (e.next(r)) {
+    }
+    EXPECT_EQ(e.reg(isa::reg::t0), 0);
+    EXPECT_EQ(e.reg(isa::reg::t1), 222);
+}
+
+TEST(Assembler, CallsAndReturns)
+{
+    isa::Program p = assemble(R"(
+        jal ra, func
+        li  t1, 1
+        halt
+    func:
+        li  t2, 2
+        jr  ra
+    )");
+    Executor e(p);
+    TraceRecord r;
+    while (e.next(r)) {
+    }
+    EXPECT_EQ(e.reg(isa::reg::t1), 1);
+    EXPECT_EQ(e.reg(isa::reg::t2), 2);
+}
+
+TEST(Assembler, WorkloadDirectivesAndMarkers)
+{
+    Workload w = assembleWorkload(R"(
+        .reg  s1 0x10000000
+        .word 0x10000000 777
+        .word 0x10000008 -5
+    top:
+        ld   t1, 0(s1)
+        ld   t2, 8(s1)
+        halt
+    )");
+    EXPECT_EQ(w.markerPc("top"), isa::textBase);
+    auto exec = w.makeExecutor();
+    TraceRecord r;
+    while (exec->next(r)) {
+    }
+    EXPECT_EQ(exec->reg(isa::reg::t1), 777);
+    EXPECT_EQ(exec->reg(isa::reg::t2), -5);
+}
+
+TEST(Assembler, SymbolicAndRawRegisterNamesAgree)
+{
+    isa::Program a = assemble("add s8, t9, v0\nhalt\n");
+    isa::Program b = assemble("add r30, r25, r2\nhalt\n");
+    EXPECT_EQ(a.at(0).toString(), b.at(0).toString());
+    // fp is an alias for s8
+    isa::Program c = assemble("add fp, t9, v0\nhalt\n");
+    EXPECT_EQ(c.at(0).toString(), a.at(0).toString());
+}
+
+TEST(Assembler, HexAndNegativeImmediates)
+{
+    isa::Program p = assemble(R"(
+        li t0, 0xff
+        li t1, -0x10
+        addi t2, t0, -3
+        halt
+    )");
+    EXPECT_EQ(p.at(0).imm, 255);
+    EXPECT_EQ(p.at(1).imm, -16);
+    EXPECT_EQ(p.at(2).imm, -3);
+}
+
+TEST(Assembler, ShiftMnemonics)
+{
+    isa::Program p = assemble(R"(
+        slli t1, t0, 4
+        srli t2, t0, 5
+        srai t3, t0, 6
+        sra  t4, t0, t1
+        halt
+    )");
+    EXPECT_EQ(p.at(0).toString(), "slli r9, r8, 4");
+    EXPECT_EQ(p.at(1).toString(), "srli r10, r8, 5");
+    EXPECT_EQ(p.at(2).toString(), "srai r11, r8, 6");
+    EXPECT_EQ(p.at(3).toString(), "sra r12, r8, r9");
+}
+
+TEST(AssemblerDeath, ErrorsCarryLineNumbers)
+{
+    EXPECT_EXIT(assemble("li t0, 1\nfrobnicate t0, t1, t2\nhalt\n"),
+                ::testing::ExitedWithCode(1), "line 2");
+    EXPECT_EXIT(assemble("ld t0, t1, t2\nhalt\n"),
+                ::testing::ExitedWithCode(1), "off\\(base\\)");
+    EXPECT_EXIT(assemble("li t0, notanumber\nhalt\n"),
+                ::testing::ExitedWithCode(1), "bad immediate");
+    EXPECT_EXIT(assemble("add q9, t0, t1\nhalt\n"),
+                ::testing::ExitedWithCode(1), "unknown register");
+    EXPECT_EXIT(assemble("\n# only comments\n"),
+                ::testing::ExitedWithCode(1), "no instructions");
+    EXPECT_EXIT(assemble(".word 0x10 1\nhalt\n"),
+                ::testing::ExitedWithCode(1), "assembleWorkload");
+}
+
+} // namespace
+} // namespace workload
+} // namespace gdiff

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Cache-model tests: geometry, hit/miss classification, LRU
+ * replacement, and the paper Table 1 configurations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+
+namespace gdiff {
+namespace mem {
+namespace {
+
+CacheConfig
+tinyCache(unsigned assoc)
+{
+    CacheConfig c;
+    c.name = "tiny";
+    c.sizeBytes = 4 * 64 * assoc; // 4 sets
+    c.assoc = assoc;
+    c.lineBytes = 64;
+    c.hitLatency = 1;
+    c.missPenalty = 10;
+    return c;
+}
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache c(tinyCache(2));
+    EXPECT_FALSE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x1038)); // same 64B line
+    EXPECT_EQ(c.accesses(), 3u);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Cache, DistinctLinesMissSeparately)
+{
+    Cache c(tinyCache(2));
+    EXPECT_FALSE(c.access(0x1000));
+    EXPECT_FALSE(c.access(0x1040));
+    EXPECT_TRUE(c.access(0x1000));
+    EXPECT_TRUE(c.access(0x1040));
+}
+
+TEST(Cache, LruEviction)
+{
+    // 2-way, 4 sets: three lines mapping to set 0 thrash one set.
+    Cache c(tinyCache(2));
+    uint64_t a = 0x0000, b = 0x0100, d = 0x0200; // all set 0
+    c.access(a);
+    c.access(b);
+    c.access(a);        // a is MRU, b is LRU
+    c.access(d);        // evicts b
+    EXPECT_TRUE(c.probe(a));
+    EXPECT_FALSE(c.probe(b));
+    EXPECT_TRUE(c.probe(d));
+}
+
+TEST(Cache, ProbeDoesNotAllocate)
+{
+    Cache c(tinyCache(2));
+    EXPECT_FALSE(c.probe(0x4000));
+    EXPECT_FALSE(c.probe(0x4000));
+    EXPECT_EQ(c.accesses(), 0u);
+    EXPECT_FALSE(c.access(0x4000));
+}
+
+TEST(Cache, LatencyPerConfig)
+{
+    Cache c(tinyCache(2));
+    EXPECT_EQ(c.latency(true), 1u);
+    EXPECT_EQ(c.latency(false), 11u);
+}
+
+TEST(Cache, MissRate)
+{
+    Cache c(tinyCache(2));
+    c.access(0x1000);
+    c.access(0x1000);
+    c.access(0x1000);
+    c.access(0x1000);
+    EXPECT_DOUBLE_EQ(c.missRate(), 0.25);
+}
+
+TEST(Cache, ResetClearsEverything)
+{
+    Cache c(tinyCache(2));
+    c.access(0x1000);
+    c.reset();
+    EXPECT_EQ(c.accesses(), 0u);
+    EXPECT_FALSE(c.probe(0x1000));
+}
+
+TEST(Cache, FullyAssociativeSingleSet)
+{
+    CacheConfig cfg;
+    cfg.sizeBytes = 256;
+    cfg.assoc = 4;
+    cfg.lineBytes = 64; // exactly one set
+    Cache c(cfg);
+    for (uint64_t i = 0; i < 4; ++i)
+        EXPECT_FALSE(c.access(i * 0x1000));
+    for (uint64_t i = 0; i < 4; ++i)
+        EXPECT_TRUE(c.access(i * 0x1000));
+    EXPECT_FALSE(c.access(5 * 0x1000)); // evicts line 0 (LRU)
+    EXPECT_FALSE(c.probe(0));
+}
+
+TEST(Cache, PaperConfigs)
+{
+    CacheConfig ic = CacheConfig::paperICache();
+    EXPECT_EQ(ic.sizeBytes, 64u * 1024);
+    EXPECT_EQ(ic.assoc, 4u);
+    EXPECT_EQ(ic.lineBytes, 64u);
+    EXPECT_EQ(ic.missPenalty, 12u);
+
+    CacheConfig dc = CacheConfig::paperDCache();
+    EXPECT_EQ(dc.missPenalty, 14u);
+    EXPECT_EQ(dc.hitLatency, 2u);
+
+    // Both must construct cleanly.
+    Cache i(ic), d(dc);
+    EXPECT_FALSE(i.access(0x400000));
+    SUCCEED();
+}
+
+TEST(CacheDeath, NonPowerOfTwoRejected)
+{
+    CacheConfig cfg;
+    cfg.sizeBytes = 3000;
+    EXPECT_DEATH(Cache c(cfg), "powers of two");
+}
+
+TEST(Cache, StreamingWorkingSetLargerThanCache)
+{
+    // Sequential streaming over 4x the cache size must miss once per
+    // line and never hit on the second pass (LRU worst case).
+    Cache c(tinyCache(4));
+    uint64_t size = c.config().sizeBytes;
+    uint64_t span = size * 4;
+    for (uint64_t pass = 0; pass < 2; ++pass)
+        for (uint64_t a = 0; a < span; a += 64)
+            c.access(a);
+    EXPECT_EQ(c.misses(), c.accesses());
+}
+
+} // namespace
+} // namespace mem
+} // namespace gdiff

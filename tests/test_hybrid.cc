@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Hybrid (stride + DFCM + chooser) tests: the combination must match
+ * the better component on each of its home patterns, and the chooser
+ * must switch per PC.
+ */
+
+#include <gtest/gtest.h>
+
+#include "predictors/hybrid.hh"
+
+namespace gdiff {
+namespace predictors {
+namespace {
+
+constexpr uint64_t pcStride = 0x400000;
+constexpr uint64_t pcPeriod = 0x400010;
+
+template <typename P>
+unsigned
+score(P &p, uint64_t pc, const std::vector<int64_t> &values)
+{
+    unsigned correct = 0;
+    for (int64_t v : values) {
+        int64_t guess = 0;
+        if (p.predict(pc, guess) && guess == v)
+            ++correct;
+        p.update(pc, v);
+    }
+    return correct;
+}
+
+std::vector<int64_t>
+strided(int n)
+{
+    std::vector<int64_t> v;
+    for (int i = 0; i < n; ++i)
+        v.push_back(100 + 9 * i);
+    return v;
+}
+
+std::vector<int64_t>
+periodic(int n)
+{
+    std::vector<int64_t> v;
+    const int64_t strides[3] = {1, 5, -2};
+    int64_t x = 0;
+    for (int i = 0; i < n; ++i) {
+        v.push_back(x);
+        x += strides[i % 3];
+    }
+    return v;
+}
+
+TEST(Hybrid, MatchesStrideOnStridedStreams)
+{
+    HybridLocalPredictor h;
+    StridePredictor s(0);
+    unsigned hs = score(h, pcStride, strided(60));
+    unsigned ss = score(s, pcStride, strided(60));
+    EXPECT_GE(hs + 2, ss); // within warmup slack
+    EXPECT_GT(hs, 50u);
+}
+
+TEST(Hybrid, MatchesDfcmOnPeriodicStreams)
+{
+    HybridLocalPredictor h;
+    FcmConfig cfg;
+    DfcmPredictor d(cfg);
+    unsigned hp = score(h, pcPeriod, periodic(90));
+    unsigned dp = score(d, pcPeriod, periodic(90));
+    EXPECT_GE(hp + 10, dp); // chooser needs a few switches
+    EXPECT_GT(hp, 60u);
+}
+
+TEST(Hybrid, ChooserIsPerPc)
+{
+    // Interleave a strided PC and a periodic PC: both must end up
+    // well predicted simultaneously.
+    HybridLocalPredictor h;
+    auto sv = strided(90);
+    auto pv = periodic(90);
+    unsigned s_ok = 0, p_ok = 0;
+    for (int i = 0; i < 90; ++i) {
+        int64_t guess;
+        if (h.predict(pcStride, guess) && guess == sv[static_cast<size_t>(i)])
+            ++s_ok;
+        h.update(pcStride, sv[static_cast<size_t>(i)]);
+        if (h.predict(pcPeriod, guess) && guess == pv[static_cast<size_t>(i)])
+            ++p_ok;
+        h.update(pcPeriod, pv[static_cast<size_t>(i)]);
+    }
+    EXPECT_GT(s_ok, 80u);
+    EXPECT_GT(p_ok, 55u);
+}
+
+} // namespace
+} // namespace predictors
+} // namespace gdiff

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Unit tests for the ISA layer: opcode classification, instruction
+ * helpers, the program builder, and label resolution.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/program_builder.hh"
+
+namespace gdiff {
+namespace isa {
+namespace {
+
+using namespace reg;
+
+TEST(Opcode, Classification)
+{
+    EXPECT_TRUE(isLoad(Opcode::Load));
+    EXPECT_FALSE(isLoad(Opcode::Store));
+    EXPECT_TRUE(isStore(Opcode::Store));
+    EXPECT_TRUE(isMemory(Opcode::Load));
+    EXPECT_TRUE(isMemory(Opcode::Store));
+    EXPECT_FALSE(isMemory(Opcode::Add));
+
+    EXPECT_TRUE(isCondBranch(Opcode::Beq));
+    EXPECT_TRUE(isCondBranch(Opcode::Bge));
+    EXPECT_FALSE(isCondBranch(Opcode::Jump));
+
+    EXPECT_TRUE(isControl(Opcode::Jump));
+    EXPECT_TRUE(isControl(Opcode::Jal));
+    EXPECT_TRUE(isControl(Opcode::Jr));
+    EXPECT_TRUE(isControl(Opcode::Jalr));
+    EXPECT_FALSE(isControl(Opcode::Add));
+
+    EXPECT_TRUE(isAlu(Opcode::Add));
+    EXPECT_TRUE(isAlu(Opcode::Li));
+    EXPECT_FALSE(isAlu(Opcode::Load));
+
+    EXPECT_TRUE(isAluImmediate(Opcode::Addi));
+    EXPECT_FALSE(isAluImmediate(Opcode::Add));
+
+    EXPECT_TRUE(writesRegister(Opcode::Load));
+    EXPECT_TRUE(writesRegister(Opcode::Jal));
+    EXPECT_TRUE(writesRegister(Opcode::Jalr));
+    EXPECT_FALSE(writesRegister(Opcode::Store));
+    EXPECT_FALSE(writesRegister(Opcode::Beq));
+}
+
+TEST(Instruction, ProducesValue)
+{
+    Instruction add;
+    add.op = Opcode::Add;
+    add.rd = t0;
+    EXPECT_TRUE(add.producesValue());
+
+    // Writes to the zero register are not predictable values.
+    add.rd = zero;
+    EXPECT_FALSE(add.producesValue());
+
+    Instruction ld;
+    ld.op = Opcode::Load;
+    ld.rd = t1;
+    EXPECT_TRUE(ld.producesValue());
+
+    // Jal writes a register but is excluded per the paper's
+    // "value producing integer operations or loads".
+    Instruction jal;
+    jal.op = Opcode::Jal;
+    jal.rd = ra;
+    EXPECT_FALSE(jal.producesValue());
+
+    Instruction st;
+    st.op = Opcode::Store;
+    EXPECT_FALSE(st.producesValue());
+}
+
+TEST(Instruction, SourceRegisterUse)
+{
+    Instruction li;
+    li.op = Opcode::Li;
+    EXPECT_FALSE(li.readsRs1());
+    EXPECT_FALSE(li.readsRs2());
+
+    Instruction add;
+    add.op = Opcode::Add;
+    EXPECT_TRUE(add.readsRs1());
+    EXPECT_TRUE(add.readsRs2());
+
+    Instruction addi;
+    addi.op = Opcode::Addi;
+    EXPECT_TRUE(addi.readsRs1());
+    EXPECT_FALSE(addi.readsRs2());
+
+    Instruction st;
+    st.op = Opcode::Store;
+    EXPECT_TRUE(st.readsRs1());
+    EXPECT_TRUE(st.readsRs2());
+
+    Instruction beq;
+    beq.op = Opcode::Beq;
+    EXPECT_TRUE(beq.readsRs1());
+    EXPECT_TRUE(beq.readsRs2());
+
+    Instruction jr;
+    jr.op = Opcode::Jr;
+    EXPECT_TRUE(jr.readsRs1());
+    EXPECT_FALSE(jr.readsRs2());
+}
+
+TEST(Instruction, PcIndexMapping)
+{
+    EXPECT_EQ(indexToPc(0), textBase);
+    EXPECT_EQ(indexToPc(10), textBase + 40);
+    EXPECT_EQ(pcToIndex(indexToPc(1234)), 1234u);
+}
+
+TEST(ProgramBuilder, ForwardAndBackwardLabels)
+{
+    ProgramBuilder b("labels");
+    Label fwd = b.newLabel();
+    Label back = b.newLabel();
+
+    b.bind(back);            // #0
+    b.addi(t0, t0, 1);       // #0
+    b.beq(t0, t1, fwd);      // #1 -> forward to #3
+    b.jump(back);            // #2 -> backward to #0
+    b.bind(fwd);
+    b.halt();                // #3
+
+    Program p = b.build();
+    ASSERT_EQ(p.size(), 4u);
+    EXPECT_EQ(p.at(1).target, 3u);
+    EXPECT_EQ(p.at(2).target, 0u);
+}
+
+TEST(ProgramBuilder, HereTracksPosition)
+{
+    ProgramBuilder b("here");
+    EXPECT_EQ(b.here(), 0u);
+    b.nop();
+    EXPECT_EQ(b.here(), 1u);
+    b.addi(t0, t0, 1);
+    EXPECT_EQ(b.here(), 2u);
+    b.halt();
+    b.build();
+}
+
+TEST(ProgramBuilderDeath, UnboundLabel)
+{
+    ProgramBuilder b("unbound");
+    Label l = b.newLabel();
+    b.jump(l);
+    EXPECT_DEATH(b.build(), "unbound label");
+}
+
+TEST(ProgramBuilderDeath, DoubleBind)
+{
+    ProgramBuilder b("double");
+    Label l = b.newLabel();
+    b.bind(l);
+    b.nop();
+    EXPECT_DEATH(b.bind(l), "bound twice");
+}
+
+TEST(ProgramBuilderDeath, DanglingBind)
+{
+    ProgramBuilder b("dangling");
+    Label l = b.newLabel();
+    b.nop();
+    b.bind(l); // bound past the last instruction
+    EXPECT_DEATH(b.build(), "past the last instruction");
+}
+
+TEST(Disassembly, KnownFormats)
+{
+    ProgramBuilder b("disasm");
+    Label l = b.newLabel();
+    b.bind(l);
+    b.load(t0, s1, 16);
+    b.store(t0, s1, -8);
+    b.addi(t1, t0, 5);
+    b.add(t2, t0, t1);
+    b.li(t3, 99);
+    b.beq(t0, t1, l);
+    b.halt();
+    Program p = b.build();
+
+    EXPECT_EQ(p.at(0).toString(), "ld r8, 16(r17)");
+    EXPECT_EQ(p.at(1).toString(), "sd r8, -8(r17)");
+    EXPECT_EQ(p.at(2).toString(), "addi r9, r8, 5");
+    EXPECT_EQ(p.at(3).toString(), "add r10, r8, r9");
+    EXPECT_EQ(p.at(4).toString(), "li r11, 99");
+    EXPECT_EQ(p.at(5).toString(), "beq r8, r9, #0");
+    EXPECT_EQ(p.at(6).toString(), "halt");
+
+    std::string listing = p.disassemble();
+    EXPECT_NE(listing.find("ld r8, 16(r17)"), std::string::npos);
+}
+
+} // namespace
+} // namespace isa
+} // namespace gdiff

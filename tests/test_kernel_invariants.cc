@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Kernel data-structure invariants: the precise relations each kernel
+ * claims in its header comment, checked against the live trace. These
+ * relations are what the gdiff predictor detects, so pinning them
+ * guards the whole reproduction against silent kernel drift.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "workload/kernels.hh"
+#include "workload/workload.hh"
+
+namespace gdiff {
+namespace workload {
+namespace {
+
+/** Collect records at a marker PC. */
+std::vector<TraceRecord>
+recordsAt(const Workload &w, uint64_t pc, uint64_t budget,
+          size_t max_records = 20'000)
+{
+    auto exec = w.makeExecutor();
+    std::vector<TraceRecord> out;
+    TraceRecord r;
+    uint64_t executed = 0;
+    while (executed < budget && out.size() < max_records &&
+           exec->next(r)) {
+        ++executed;
+        if (r.pc == pc)
+            out.push_back(r);
+    }
+    return out;
+}
+
+TEST(KernelInvariants, ParserSpillFillRoundTrip)
+{
+    // The fill load must return exactly what the len load produced
+    // in the same iteration (paper Fig. 2).
+    Workload w = makeWorkload("parser", 1);
+    uint64_t len_pc = w.markerPc("len_load");
+    uint64_t fill_pc = w.markerPc("fill_load");
+
+    auto exec = w.makeExecutor();
+    TraceRecord r;
+    int64_t last_len = 0;
+    bool have_len = false;
+    unsigned checked = 0;
+    for (uint64_t i = 0; i < 300'000 && exec->next(r); ++i) {
+        if (r.pc == len_pc) {
+            last_len = r.value;
+            have_len = true;
+        } else if (r.pc == fill_pc && have_len) {
+            ASSERT_EQ(r.value, last_len);
+            ++checked;
+        }
+    }
+    EXPECT_GT(checked, 3'000u);
+}
+
+TEST(KernelInvariants, ParserLengthsNeverSettle)
+{
+    // The LCG mutation must keep the length stream from freezing
+    // into a repeatable cycle: across two consecutive passes over the
+    // 512-chunk list, a substantial share of lengths must change.
+    Workload w = makeWorkload("parser", 1);
+    uint64_t len_pc = w.markerPc("len_load");
+    auto recs = recordsAt(w, len_pc, 2'000'000, 3 * 512);
+    ASSERT_GE(recs.size(), 3u * 512);
+    unsigned changed = 0;
+    for (size_t i = 0; i < 512; ++i) {
+        if (recs[512 + i].value != recs[2 * 512 + i].value)
+            ++changed;
+    }
+    EXPECT_GT(changed, 150u); // ~50% mutate per pass
+}
+
+TEST(KernelInvariants, McfTailPointerAffineInArcAddress)
+{
+    // tail == nodeBase + j*64 while the arc sits at arcBase + j*64:
+    // value - effAddr must be one global constant (the relation gdiff
+    // learns at distance 1).
+    Workload w = makeWorkload("mcf", 1);
+    auto recs = recordsAt(w, w.markerPc("tail_load"), 400'000);
+    ASSERT_GT(recs.size(), 2'000u);
+    std::map<int64_t, unsigned> diffs;
+    for (const auto &r : recs)
+        ++diffs[r.value - static_cast<int64_t>(r.effAddr)];
+    ASSERT_EQ(diffs.size(), 1u);
+}
+
+TEST(KernelInvariants, TwolfCoordinateAffineWithBoundedNoise)
+{
+    // a->x == x0 + cell offset (5% jitter): value - effAddr constant
+    // for >= 90% of loads.
+    Workload w = makeWorkload("twolf", 1);
+    auto recs = recordsAt(w, w.markerPc("ax_load"), 400'000);
+    ASSERT_GT(recs.size(), 2'000u);
+    std::map<int64_t, unsigned> diffs;
+    for (const auto &r : recs)
+        ++diffs[r.value - static_cast<int64_t>(r.effAddr)];
+    unsigned best = 0;
+    for (const auto &[d, n] : diffs)
+        best = std::max(best, n);
+    EXPECT_GT(best, recs.size() * 88 / 100);
+}
+
+TEST(KernelInvariants, VortexPeerSizeAffineInPeerPointer)
+{
+    // peer->size loaded at peer+8: value - (effAddr - 8) constant for
+    // ~95% of loads (5% size jitter).
+    Workload w = makeWorkload("vortex", 1);
+    auto recs = recordsAt(w, w.markerPc("peer_size_load"), 400'000);
+    ASSERT_GT(recs.size(), 2'000u);
+    std::map<int64_t, unsigned> diffs;
+    for (const auto &r : recs)
+        ++diffs[r.value - static_cast<int64_t>(r.effAddr - 8)];
+    unsigned best = 0;
+    for (const auto &[d, n] : diffs)
+        best = std::max(best, n);
+    EXPECT_GT(best, recs.size() * 90 / 100);
+}
+
+TEST(KernelInvariants, Bzip2BackReferenceReturnsOlderSymbol)
+{
+    // The back-reference load at s1-32 must produce the symbol the
+    // first-block symbol load produced four symbols earlier.
+    Workload w = makeWorkload("bzip2", 1);
+    uint64_t sym_pc = w.markerPc("symbol_load");
+    uint64_t back_pc = w.markerPc("backref_load");
+
+    auto exec = w.makeExecutor();
+    TraceRecord r;
+    std::vector<int64_t> symbols; // block-0 symbols, one per iter
+    unsigned checked = 0;
+    for (uint64_t i = 0; i < 200'000 && exec->next(r); ++i) {
+        if (r.pc == sym_pc)
+            symbols.push_back(r.value);
+        else if (r.pc == back_pc && symbols.size() >= 2) {
+            // block 0's backref (s1 - 32) is block 0's symbol of the
+            // previous iteration
+            ASSERT_EQ(r.value, symbols[symbols.size() - 2]);
+            ++checked;
+        }
+    }
+    EXPECT_GT(checked, 1'000u);
+}
+
+TEST(KernelInvariants, McfScanIsALinkedTraversal)
+{
+    // Consecutive tail-load effective addresses advance by 1-3 arcs
+    // (skips), wrapping at the end: the linked-scan property.
+    Workload w = makeWorkload("mcf", 1);
+    auto recs = recordsAt(w, w.markerPc("tail_load"), 300'000);
+    ASSERT_GT(recs.size(), 1'000u);
+    unsigned ok = 0;
+    for (size_t i = 1; i < recs.size(); ++i) {
+        int64_t step = static_cast<int64_t>(recs[i].effAddr) -
+                       static_cast<int64_t>(recs[i - 1].effAddr);
+        if (step == 64 || step == 128 || step == 192 || step < 0)
+            ++ok;
+    }
+    EXPECT_EQ(ok, recs.size() - 1);
+}
+
+TEST(KernelInvariants, GapChainValuesAreWidelySpread)
+{
+    // gap's generational values must not collapse into a small set
+    // (that would make them context-predictable).
+    Workload w = makeWorkload("gap", 1);
+    auto exec = w.makeExecutor();
+    TraceRecord r;
+    std::map<int64_t, unsigned> seen;
+    unsigned muls = 0;
+    for (uint64_t i = 0; i < 100'000 && exec->next(r); ++i) {
+        if (r.inst.op == isa::Opcode::Mul && r.producesValue()) {
+            ++seen[r.value];
+            ++muls;
+        }
+    }
+    ASSERT_GT(muls, 5'000u);
+    // virtually every chain value is unique
+    EXPECT_GT(seen.size() * 100, muls * 99u);
+}
+
+} // namespace
+} // namespace workload
+} // namespace gdiff

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Unit tests for src/stats: counters, ratios, histograms, tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/counter.hh"
+#include "stats/histogram.hh"
+#include "stats/table.hh"
+
+namespace gdiff {
+namespace stats {
+namespace {
+
+TEST(Counter, Basics)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.increment();
+    c.add(4);
+    EXPECT_EQ(c.value(), 5u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Ratio, EmptyIsZero)
+{
+    Ratio r;
+    EXPECT_DOUBLE_EQ(r.value(), 0.0);
+    EXPECT_DOUBLE_EQ(r.percent(), 0.0);
+}
+
+TEST(Ratio, RecordsHitsAndMisses)
+{
+    Ratio r;
+    r.record(true);
+    r.record(true);
+    r.record(false);
+    r.record(false);
+    EXPECT_EQ(r.hits(), 2u);
+    EXPECT_EQ(r.total(), 4u);
+    EXPECT_DOUBLE_EQ(r.value(), 0.5);
+    EXPECT_DOUBLE_EQ(r.percent(), 50.0);
+}
+
+TEST(Ratio, BatchAccumulation)
+{
+    Ratio r;
+    r.addBatch(3, 10);
+    r.addBatch(7, 10);
+    EXPECT_DOUBLE_EQ(r.value(), 0.5);
+}
+
+TEST(Average, Mean)
+{
+    Average a;
+    EXPECT_DOUBLE_EQ(a.value(), 0.0);
+    a.record(2.0);
+    a.record(4.0);
+    a.record(6.0);
+    EXPECT_DOUBLE_EQ(a.value(), 4.0);
+    EXPECT_EQ(a.samples(), 3u);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(4);
+    h.record(0);
+    h.record(1);
+    h.record(1);
+    h.record(3);
+    h.record(9);  // overflow
+    h.record(100);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 2u);
+    EXPECT_EQ(h.bucket(2), 0u);
+    EXPECT_EQ(h.bucket(3), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.samples(), 6u);
+    EXPECT_EQ(h.maxSample(), 100u);
+}
+
+TEST(Histogram, MeanIncludesOverflowTrueValues)
+{
+    Histogram h(2);
+    h.record(0);
+    h.record(10);
+    EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+}
+
+TEST(Histogram, Fractions)
+{
+    Histogram h(2);
+    h.record(0);
+    h.record(0);
+    h.record(1);
+    h.record(1);
+    EXPECT_DOUBLE_EQ(h.fraction(0), 0.5);
+    EXPECT_DOUBLE_EQ(h.fraction(1), 0.5);
+}
+
+TEST(Histogram, Reset)
+{
+    Histogram h(2);
+    h.record(1);
+    h.reset();
+    EXPECT_EQ(h.samples(), 0u);
+    EXPECT_EQ(h.bucket(1), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(HistogramDeath, OutOfRangeBucket)
+{
+    Histogram h(2);
+    EXPECT_DEATH((void)h.bucket(2), "out of range");
+}
+
+TEST(Table, AlignedOutputContainsCells)
+{
+    Table t("My Caption", "bench");
+    t.addColumn("acc");
+    t.addColumn("cov");
+    t.beginRow("mcf");
+    t.cellPercent(0.861);
+    t.cellPercent(0.5);
+    t.beginRow("parser");
+    t.cellPercent(0.789);
+    t.cellPercent(0.25, 2);
+
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("My Caption"), std::string::npos);
+    EXPECT_NE(out.find("86.1%"), std::string::npos);
+    EXPECT_NE(out.find("78.9%"), std::string::npos);
+    EXPECT_NE(out.find("25.00%"), std::string::npos);
+    EXPECT_NE(out.find("mcf"), std::string::npos);
+}
+
+TEST(Table, CsvOutput)
+{
+    Table t("cap", "name");
+    t.addColumn("v");
+    t.beginRow("a");
+    t.cellInt(42);
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "name,v\na,42\n");
+}
+
+TEST(Table, CellTypes)
+{
+    Table t("cap", "k");
+    t.addColumn("c1");
+    t.addColumn("c2");
+    t.addColumn("c3");
+    t.beginRow("r");
+    t.cellInt(-5);
+    t.cellDouble(1.23456, 2);
+    t.cell("text");
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("-5"), std::string::npos);
+    EXPECT_NE(os.str().find("1.23"), std::string::npos);
+    EXPECT_NE(os.str().find("text"), std::string::npos);
+}
+
+TEST(TableDeath, TooManyCells)
+{
+    Table t("cap", "k");
+    t.addColumn("c");
+    t.beginRow("r");
+    t.cellInt(1);
+    EXPECT_DEATH(t.cellInt(2), "too many cells");
+}
+
+TEST(TableDeath, ColumnAfterRows)
+{
+    Table t("cap", "k");
+    t.addColumn("c");
+    t.beginRow("r");
+    EXPECT_DEATH(t.addColumn("late"), "before any row");
+}
+
+} // namespace
+} // namespace stats
+} // namespace gdiff

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Trace-file round-trip tests: records survive write/read unchanged,
+ * replayed traces drive the same predictor results as live execution,
+ * and malformed files are rejected.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include <unistd.h>
+
+#include "core/gdiff.hh"
+#include "sim/profile.hh"
+#include "workload/trace_io.hh"
+#include "workload/workload.hh"
+
+namespace gdiff {
+namespace workload {
+namespace {
+
+std::string
+tempPath(const char *tag)
+{
+    return std::string(::testing::TempDir()) + "/gdiff_trace_" + tag +
+           ".bin";
+}
+
+TEST(TraceIo, RoundTripPreservesRecords)
+{
+    std::string path = tempPath("roundtrip");
+    Workload w = makeWorkload("parser", 1);
+    auto exec = w.makeExecutor();
+
+    std::vector<TraceRecord> original;
+    {
+        TraceWriter writer(path);
+        TraceRecord r;
+        while (original.size() < 5000 && exec->next(r)) {
+            writer.append(r);
+            original.push_back(r);
+        }
+        writer.close();
+        EXPECT_EQ(writer.written(), original.size());
+    }
+
+    TraceFileSource src(path);
+    EXPECT_EQ(src.totalRecords(), original.size());
+    TraceRecord r;
+    size_t i = 0;
+    while (src.next(r)) {
+        ASSERT_LT(i, original.size());
+        const TraceRecord &o = original[i];
+        EXPECT_EQ(r.seq, o.seq);
+        EXPECT_EQ(r.pc, o.pc);
+        EXPECT_EQ(r.nextPc, o.nextPc);
+        EXPECT_EQ(r.value, o.value);
+        EXPECT_EQ(r.effAddr, o.effAddr);
+        EXPECT_EQ(r.taken, o.taken);
+        EXPECT_EQ(r.inst.op, o.inst.op);
+        EXPECT_EQ(r.inst.rd, o.inst.rd);
+        EXPECT_EQ(r.inst.rs1, o.inst.rs1);
+        EXPECT_EQ(r.inst.rs2, o.inst.rs2);
+        EXPECT_EQ(r.inst.imm, o.inst.imm);
+        EXPECT_EQ(r.inst.target, o.inst.target);
+        ++i;
+    }
+    EXPECT_EQ(i, original.size());
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, ReplayMatchesLiveExecution)
+{
+    std::string path = tempPath("replay");
+    {
+        Workload w = makeWorkload("mcf", 1);
+        auto exec = w.makeExecutor();
+        TraceWriter writer(path);
+        TraceRecord r;
+        for (int i = 0; i < 60'000 && exec->next(r); ++i)
+            writer.append(r);
+    }
+
+    auto run = [](TraceSource &src) {
+        core::GDiffConfig cfg;
+        cfg.order = 8;
+        cfg.tableEntries = 0;
+        core::GDiffPredictor gd(cfg);
+        sim::ProfileConfig pcfg;
+        pcfg.maxInstructions = 50'000;
+        pcfg.warmupInstructions = 5'000;
+        sim::ValueProfileRunner runner(pcfg);
+        runner.addPredictor(gd);
+        runner.run(src);
+        return runner.results()[0].accuracyAll.value();
+    };
+
+    Workload w = makeWorkload("mcf", 1);
+    auto live = w.makeExecutor();
+    double live_acc = run(*live);
+
+    TraceFileSource replay(path);
+    double replay_acc = run(replay);
+
+    EXPECT_DOUBLE_EQ(live_acc, replay_acc);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIo, RewindReplaysFromTheTop)
+{
+    std::string path = tempPath("rewind");
+    {
+        Workload w = makeWorkload("bzip2", 1);
+        auto exec = w.makeExecutor();
+        TraceWriter writer(path);
+        TraceRecord r;
+        for (int i = 0; i < 100 && exec->next(r); ++i)
+            writer.append(r);
+    }
+    TraceFileSource src(path);
+    TraceRecord first;
+    ASSERT_TRUE(src.next(first));
+    TraceRecord r;
+    while (src.next(r)) {
+    }
+    src.rewind();
+    TraceRecord again;
+    ASSERT_TRUE(src.next(again));
+    EXPECT_EQ(again.seq, first.seq);
+    EXPECT_EQ(again.pc, first.pc);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoDeath, MissingFileIsFatal)
+{
+    EXPECT_EXIT(TraceFileSource src("/nonexistent/nope.bin"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(TraceIoDeath, BadMagicIsFatal)
+{
+    std::string path = tempPath("badmagic");
+    {
+        std::FILE *f = std::fopen(path.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        const char junk[32] = "this is not a trace file";
+        std::fwrite(junk, sizeof(junk), 1, f);
+        std::fclose(f);
+    }
+    EXPECT_EXIT(TraceFileSource src(path),
+                ::testing::ExitedWithCode(1), "bad magic");
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoDeath, TruncatedFileIsFatal)
+{
+    std::string path = tempPath("trunc");
+    {
+        TraceWriter writer(path);
+        Workload w = makeWorkload("bzip2", 1);
+        auto exec = w.makeExecutor();
+        TraceRecord r;
+        for (int i = 0; i < 10 && exec->next(r); ++i)
+            writer.append(r);
+        writer.close();
+    }
+    // Chop the last record in half.
+    {
+        std::FILE *f = std::fopen(path.c_str(), "rb+");
+        ASSERT_NE(f, nullptr);
+        std::fseek(f, 0, SEEK_END);
+        long size = std::ftell(f);
+        std::fclose(f);
+        ASSERT_EQ(0, truncate(path.c_str(), size - 32));
+    }
+    TraceFileSource src(path);
+    TraceRecord r;
+    EXPECT_EXIT(
+        {
+            while (src.next(r)) {
+            }
+        },
+        ::testing::ExitedWithCode(1), "truncated");
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace workload
+} // namespace gdiff

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Value-speculation scheme tests: confidence gating, statistics,
+ * in-flight compensation, SGVQ sensitivity to update reordering, and
+ * HGVQ's dispatch-order anchoring (the paper's §4-§5 mechanisms, unit
+ * tested outside the full pipeline).
+ */
+
+#include <gtest/gtest.h>
+
+#include <utility>
+
+#include "pipeline/vp_scheme.hh"
+#include "predictors/stride.hh"
+
+namespace gdiff {
+namespace pipeline {
+namespace {
+
+constexpr uint64_t pcA = 0x400000;
+constexpr uint64_t pcB = 0x400010;
+
+core::GDiffConfig
+smallConfig(unsigned order = 8)
+{
+    core::GDiffConfig c;
+    c.order = order;
+    c.tableEntries = 0;
+    return c;
+}
+
+TEST(VpSchemeBase, NoPredictionNeverPredicts)
+{
+    NoPrediction s;
+    for (int i = 0; i < 10; ++i) {
+        VpDecision d = s.predictAtDispatch(pcA);
+        EXPECT_FALSE(d.predicted);
+        s.writeback(pcA, d, i);
+    }
+    EXPECT_EQ(s.coverage().hits(), 0u);
+    EXPECT_EQ(s.coverage().total(), 10u);
+}
+
+TEST(VpSchemeBase, ConfidenceGatesCoverage)
+{
+    LocalScheme s(std::make_unique<predictors::StridePredictor>(0),
+                  "l_stride");
+    // Perfectly strided PC: confidence must engage after the paper's
+    // two correct predictions (+2 twice reaches threshold 4).
+    uint64_t first_confident = 0;
+    for (uint64_t i = 0; i < 20; ++i) {
+        VpDecision d = s.predictAtDispatch(pcA);
+        if (d.confident && first_confident == 0)
+            first_confident = i;
+        s.writeback(pcA, d, static_cast<int64_t>(100 + 7 * i));
+    }
+    EXPECT_GT(first_confident, 0u);
+    EXPECT_LE(first_confident, 6u);
+    EXPECT_GT(s.gatedAccuracy().value(), 0.99);
+}
+
+TEST(VpSchemeBase, InFlightCompensation)
+{
+    // Dispatch 4 instances of a strided PC before any writeback: the
+    // stride predictor must extrapolate across the in-flight copies.
+    LocalScheme s(std::make_unique<predictors::StridePredictor>(0),
+                  "l_stride");
+    // warm up in lockstep first
+    for (int i = 0; i < 8; ++i) {
+        VpDecision d = s.predictAtDispatch(pcA);
+        s.writeback(pcA, d, 10 * i);
+    }
+    // now dispatch a burst of 4 before writing any back
+    VpDecision d0 = s.predictAtDispatch(pcA);
+    VpDecision d1 = s.predictAtDispatch(pcA);
+    VpDecision d2 = s.predictAtDispatch(pcA);
+    VpDecision d3 = s.predictAtDispatch(pcA);
+    EXPECT_EQ(d0.value, 80);
+    EXPECT_EQ(d1.value, 90);
+    EXPECT_EQ(d2.value, 100);
+    EXPECT_EQ(d3.value, 110);
+    s.writeback(pcA, d0, 80);
+    s.writeback(pcA, d1, 90);
+    s.writeback(pcA, d2, 100);
+    s.writeback(pcA, d3, 110);
+    // the burst itself was fully correct (early 2-delta warmup aside)
+    EXPECT_GE(s.rawAccuracy().hits() + 2, s.rawAccuracy().total());
+}
+
+TEST(Sgvq, LearnsInCompletionOrder)
+{
+    // Stable completion order: B always follows A with diff 5.
+    SgvqScheme s(smallConfig());
+    for (int i = 0; i < 6; ++i) {
+        VpDecision da = s.predictAtDispatch(pcA);
+        VpDecision db = s.predictAtDispatch(pcB);
+        int64_t a = 1000 + 31 * i * i;
+        s.writeback(pcA, da, a);
+        s.writeback(pcB, db, a + 5);
+    }
+    VpDecision da = s.predictAtDispatch(pcA);
+    s.writeback(pcA, da, 7777);
+    VpDecision db = s.predictAtDispatch(pcB);
+    ASSERT_TRUE(db.predicted);
+    EXPECT_EQ(db.value, 7782);
+}
+
+/**
+ * Shared experiment for the two queue designs: B_i == A_i + 5, with
+ * A_i committed before B_i dispatches, but the completion order of
+ * A_i relative to the *previous* B (B_{i-1}) flipping at random —
+ * the cache-miss execution variation of paper §4.
+ *
+ * @return (predicted, correct) counts for B after warmup.
+ */
+template <typename Scheme>
+std::pair<unsigned, unsigned>
+reorderExperiment(Scheme &s)
+{
+    unsigned correct = 0, predicted = 0;
+    uint64_t flip = 0x9e3779b9;
+    VpDecision prev_db;
+    int64_t prev_b = 0;
+    bool have_prev = false;
+    for (int i = 0; i < 80; ++i) {
+        int64_t a = 1000 + 31 * i * i; // locally unpredictable
+        VpDecision da = s.predictAtDispatch(pcA);
+        flip = flip * 6364136223846793005ull + 1;
+        if (have_prev && (flip >> 63)) {
+            s.writeback(pcB, prev_db, prev_b); // B_{i-1} first
+            s.writeback(pcA, da, a);
+        } else {
+            s.writeback(pcA, da, a); // A_i first
+            if (have_prev)
+                s.writeback(pcB, prev_db, prev_b);
+        }
+        VpDecision db = s.predictAtDispatch(pcB);
+        if (i > 20 && db.predicted) {
+            ++predicted;
+            correct += (db.value == a + 5);
+        }
+        prev_db = db;
+        prev_b = a + 5;
+        have_prev = true;
+    }
+    s.writeback(pcB, prev_db, prev_b);
+    return {predicted, correct};
+}
+
+TEST(Sgvq, ReorderedCompletionsBreakTheCorrelation)
+{
+    // Completion-order queue: the flipping order keeps moving A's
+    // queue position, so the learned distance cannot stabilise
+    // (paper §4's execution-variation problem).
+    SgvqScheme s(smallConfig());
+    auto [predicted, correct] = reorderExperiment(s);
+    EXPECT_LT(correct, predicted * 3 / 4 + 1);
+}
+
+TEST(Hgvq, DispatchOrderImmuneToCompletionReordering)
+{
+    // The same experiment against the hybrid queue: windows are
+    // anchored in dispatch order, so A sits at a fixed distance from
+    // B regardless of completion order (the paper's §5 argument).
+    HgvqScheme s(smallConfig());
+    auto [predicted, correct] = reorderExperiment(s);
+    ASSERT_GT(predicted, 40u);
+    EXPECT_GT(correct, predicted * 9 / 10);
+}
+
+TEST(Hgvq, FillerCarriesLocallyPredictableCorrelates)
+{
+    // A is in flight at B's dispatch (writebacks arrive after both
+    // dispatches). A is locally stride-predictable, so the filler
+    // stands in for it and B's gdiff prediction still lands.
+    HgvqScheme s(smallConfig());
+    unsigned correct = 0, predicted = 0;
+    for (int i = 0; i < 40; ++i) {
+        int64_t a = 50 * i; // strided
+        VpDecision da = s.predictAtDispatch(pcA);
+        VpDecision db = s.predictAtDispatch(pcB); // A still in flight
+        if (i > 10 && db.predicted) {
+            ++predicted;
+            correct += (db.value == a + 9);
+        }
+        s.writeback(pcA, da, a);
+        s.writeback(pcB, db, a + 9);
+    }
+    ASSERT_GT(predicted, 20u);
+    EXPECT_GT(correct, predicted * 9 / 10);
+}
+
+TEST(Hgvq, StatsExposeBothComponents)
+{
+    HgvqScheme s(smallConfig());
+    for (int i = 0; i < 30; ++i) {
+        VpDecision d = s.predictAtDispatch(pcA);
+        s.writeback(pcA, d, 3 * i);
+    }
+    EXPECT_GT(s.coverage().value(), 0.5);
+    EXPECT_GT(s.gatedAccuracy().value(), 0.9);
+}
+
+} // namespace
+} // namespace pipeline
+} // namespace gdiff

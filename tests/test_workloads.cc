@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Workload-kernel tests: every kernel must run for a long stretch
+ * without faulting, keep producing values, exercise memory, and be
+ * deterministic for a fixed seed.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/kernels.hh"
+#include "workload/workload.hh"
+
+namespace gdiff {
+namespace workload {
+namespace {
+
+struct StreamSummary
+{
+    uint64_t instructions = 0;
+    uint64_t producers = 0;
+    uint64_t loads = 0;
+    uint64_t stores = 0;
+    uint64_t branches = 0;
+    uint64_t takenBranches = 0;
+    uint64_t valueChecksum = 0;
+};
+
+StreamSummary
+summarize(const Workload &w, uint64_t budget)
+{
+    auto exec = w.makeExecutor();
+    StreamSummary s;
+    TraceRecord r;
+    while (s.instructions < budget && exec->next(r)) {
+        ++s.instructions;
+        if (r.producesValue()) {
+            ++s.producers;
+            s.valueChecksum =
+                s.valueChecksum * 1099511628211ull +
+                static_cast<uint64_t>(r.value);
+        }
+        if (r.isLoad())
+            ++s.loads;
+        if (r.isStore())
+            ++s.stores;
+        if (r.isCondBranch()) {
+            ++s.branches;
+            if (r.taken)
+                ++s.takenBranches;
+        }
+    }
+    return s;
+}
+
+class SpecKernel : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(SpecKernel, RunsWithoutHalting)
+{
+    Workload w = makeWorkload(GetParam(), 1);
+    StreamSummary s = summarize(w, 200'000);
+    // Kernels are infinite loops; they must consume the full budget.
+    EXPECT_EQ(s.instructions, 200'000u);
+}
+
+TEST_P(SpecKernel, ProducesValuesAndMemoryTraffic)
+{
+    Workload w = makeWorkload(GetParam(), 1);
+    StreamSummary s = summarize(w, 200'000);
+    // At least a third of instructions produce predictable values.
+    EXPECT_GT(s.producers, s.instructions / 3);
+    EXPECT_GT(s.loads, 0u);
+    EXPECT_GT(s.stores, 0u);
+    EXPECT_GT(s.branches, 0u);
+    EXPECT_GT(s.takenBranches, 0u);
+}
+
+TEST_P(SpecKernel, DeterministicForFixedSeed)
+{
+    Workload a = makeWorkload(GetParam(), 7);
+    Workload b = makeWorkload(GetParam(), 7);
+    EXPECT_EQ(summarize(a, 50'000).valueChecksum,
+              summarize(b, 50'000).valueChecksum);
+}
+
+TEST_P(SpecKernel, SeedChangesTheStream)
+{
+    Workload a = makeWorkload(GetParam(), 1);
+    Workload b = makeWorkload(GetParam(), 2);
+    EXPECT_NE(summarize(a, 50'000).valueChecksum,
+              summarize(b, 50'000).valueChecksum);
+}
+
+TEST_P(SpecKernel, HasLoopMarker)
+{
+    Workload w = makeWorkload(GetParam(), 1);
+    EXPECT_FALSE(w.markers.empty());
+    // Every marker must point into the text segment.
+    for (const auto &[name, pc] : w.markers) {
+        EXPECT_FALSE(name.empty());
+        EXPECT_GE(pc, isa::textBase);
+        EXPECT_LT(pc, isa::indexToPc(
+                          static_cast<uint32_t>(w.program.size())));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, SpecKernel,
+    ::testing::ValuesIn(specWorkloadNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        return info.param;
+    });
+
+TEST(WorkloadRegistry, NamesAreThePapersTen)
+{
+    const auto &names = specWorkloadNames();
+    ASSERT_EQ(names.size(), 10u);
+    EXPECT_EQ(names.front(), "bzip2");
+    EXPECT_EQ(names.back(), "vpr");
+}
+
+TEST(WorkloadRegistryDeath, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(makeWorkload("nonesuch", 1),
+                ::testing::ExitedWithCode(1), "unknown workload");
+}
+
+TEST(WorkloadMarkers, MissingMarkerIsFatal)
+{
+    Workload w = makeWorkload("parser", 1);
+    EXPECT_EXIT((void)w.markerPc("nonesuch"),
+                ::testing::ExitedWithCode(1), "no marker");
+}
+
+TEST(WorkloadMarkers, ParserHasFillLoad)
+{
+    Workload w = makeWorkload("parser", 1);
+    EXPECT_GT(w.markerPc("fill_load"), 0u);
+    EXPECT_GT(w.markerPc("len_load"), 0u);
+}
+
+TEST(WorkloadImage, AppliedToExecutor)
+{
+    Workload w = makeWorkload("parser", 1);
+    auto exec = w.makeExecutor();
+    // The first chunk's next pointer must point at the second chunk.
+    int64_t next = exec->memory().read64(workload::kernels::dataBase);
+    EXPECT_EQ(static_cast<uint64_t>(next),
+              workload::kernels::dataBase + 80);
+}
+
+} // namespace
+} // namespace workload
+} // namespace gdiff
