@@ -6,10 +6,15 @@
  *   --instructions=N   measured dynamic instructions per kernel
  *   --warmup=N         warmup instructions per kernel
  *   --seed=N           workload synthesis seed
+ *   --threads=N        worker threads for harnesses that sweep their
+ *                      grid through the runner (default: hardware
+ *                      concurrency)
  *   --csv              additionally emit CSV after each table
  *
  * and prints the regenerated figure/table rows next to the paper's
- * reported numbers where the paper gives them.
+ * reported numbers where the paper gives them. Numeric values are
+ * parsed strictly (util/parse.hh): trailing garbage or a zero budget
+ * is fatal instead of silently truncated.
  */
 
 #ifndef GDIFF_BENCH_BENCH_UTIL_HH
@@ -23,6 +28,7 @@
 #include <vector>
 
 #include "stats/table.hh"
+#include "util/parse.hh"
 
 namespace gdiff {
 namespace bench {
@@ -33,6 +39,7 @@ struct BenchOptions
     uint64_t instructions = 2'000'000;
     uint64_t warmup = 200'000;
     uint64_t seed = 1;
+    unsigned threads = 0; ///< 0 = hardware concurrency
     bool csv = false;
 
     /** Parse argv; unrecognised flags abort with a usage message. */
@@ -43,17 +50,22 @@ struct BenchOptions
         for (int i = 1; i < argc; ++i) {
             const char *a = argv[i];
             if (std::strncmp(a, "--instructions=", 15) == 0) {
-                o.instructions = std::strtoull(a + 15, nullptr, 10);
+                o.instructions =
+                    parseU64Flag("--instructions", a + 15);
             } else if (std::strncmp(a, "--warmup=", 9) == 0) {
-                o.warmup = std::strtoull(a + 9, nullptr, 10);
+                o.warmup = parseU64Flag("--warmup", a + 9, true);
             } else if (std::strncmp(a, "--seed=", 7) == 0) {
-                o.seed = std::strtoull(a + 7, nullptr, 10);
+                o.seed = parseU64Flag("--seed", a + 7, true);
+            } else if (std::strncmp(a, "--threads=", 10) == 0) {
+                o.threads = static_cast<unsigned>(
+                    parseU64Flag("--threads", a + 10));
             } else if (std::strcmp(a, "--csv") == 0) {
                 o.csv = true;
             } else {
                 std::fprintf(stderr,
                              "usage: %s [--instructions=N] "
-                             "[--warmup=N] [--seed=N] [--csv]\n",
+                             "[--warmup=N] [--seed=N] [--threads=N] "
+                             "[--csv]\n",
                              argv[0]);
                 std::exit(2);
             }

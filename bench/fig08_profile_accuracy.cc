@@ -6,14 +6,15 @@
  *
  * Paper-reported averages: stride 57%, DFCM 64%, gdiff 73%; mcf is
  * gdiff's best (86%) and gap is everyone's worst (~40%).
+ *
+ * The (workload × predictor) grid runs through the sweep runner
+ * (src/runner): 30 independent profile simulations, parallelised by
+ * `--threads=N` with identical per-cell numbers at any thread count.
  */
 
 #include "bench/bench_util.hh"
 
-#include "core/gdiff.hh"
-#include "predictors/fcm.hh"
-#include "predictors/stride.hh"
-#include "sim/profile.hh"
+#include "runner/runner.hh"
 #include "workload/workload.hh"
 
 using namespace gdiff;
@@ -49,6 +50,32 @@ main(int argc, char **argv)
                   "(unlimited tables, gdiff queue size 8)",
                   opt);
 
+    runner::SweepSpec spec;
+    spec.mode = runner::JobMode::Profile;
+    spec.predictors = {"stride", "dfcm", "gdiff"};
+    spec.orders = {8};  // the paper's 8-entry GVQ
+    spec.tables = {0};  // unlimited tables
+    spec.seeds = {opt.seed};
+    spec.defaultInstructions = opt.instructions;
+    spec.warmup = opt.warmup;
+
+    runner::SweepRunner sweep(spec);
+    runner::CollectingSink results;
+    sweep.addSink(results);
+    runner::SweepOptions ropt;
+    ropt.threads = opt.threads;
+    sweep.run(ropt);
+
+    auto accuracy = [&](const std::string &workload,
+                        const std::string &predictor) {
+        for (const auto &r : results.records())
+            if (r.spec.workload == workload &&
+                r.spec.predictor == predictor)
+                return r.result.metric("accuracy");
+        panic("missing sweep cell %s/%s", workload.c_str(),
+              predictor.c_str());
+    };
+
     stats::Table t("Fig. 8 — value prediction accuracy", "benchmark");
     t.addColumn("stride");
     t.addColumn("DFCM");
@@ -58,36 +85,17 @@ main(int argc, char **argv)
     double sum_stride = 0, sum_dfcm = 0, sum_gdiff = 0;
     const auto &names = workload::specWorkloadNames();
     for (const auto &name : names) {
-        workload::Workload w = workload::makeWorkload(name, opt.seed);
-        auto exec = w.makeExecutor();
-
-        predictors::StridePredictor stride(0);
-        predictors::FcmConfig fcfg;
-        fcfg.level1Entries = 0;
-        predictors::DfcmPredictor dfcm(fcfg);
-        core::GDiffConfig gcfg;
-        gcfg.order = 8;
-        gcfg.tableEntries = 0;
-        core::GDiffPredictor gd(gcfg);
-
-        sim::ProfileConfig pcfg;
-        pcfg.maxInstructions = opt.instructions;
-        pcfg.warmupInstructions = opt.warmup;
-        sim::ValueProfileRunner runner(pcfg);
-        runner.addPredictor(stride);
-        runner.addPredictor(dfcm);
-        runner.addPredictor(gd);
-        runner.run(*exec);
-
-        const auto &r = runner.results();
+        double acc_s = accuracy(name, "stride");
+        double acc_d = accuracy(name, "dfcm");
+        double acc_g = accuracy(name, "gdiff");
         t.beginRow(name);
-        t.cellPercent(r[0].accuracyAll.value());
-        t.cellPercent(r[1].accuracyAll.value());
-        t.cellPercent(r[2].accuracyAll.value());
+        t.cellPercent(acc_s);
+        t.cellPercent(acc_d);
+        t.cellPercent(acc_g);
         t.cellPercent(paperGdiff(name));
-        sum_stride += r[0].accuracyAll.value();
-        sum_dfcm += r[1].accuracyAll.value();
-        sum_gdiff += r[2].accuracyAll.value();
+        sum_stride += acc_s;
+        sum_dfcm += acc_d;
+        sum_gdiff += acc_g;
     }
     double n = static_cast<double>(names.size());
     t.beginRow("average");

@@ -9,37 +9,20 @@
  * speedup (53% over baseline, 17% over local stride) because gdiff
  * predicts many missing loads; local context trails because of its
  * small coverage.
+ *
+ * The (workload × scheme) grid runs through the sweep runner
+ * (src/runner), so `--threads=N` parallelises the 40 independent
+ * simulations; per-cell results are identical at any thread count.
  */
 
 #include <cmath>
 
 #include "bench/bench_util.hh"
 
-#include "pipeline/ooo_model.hh"
-#include "predictors/fcm.hh"
-#include "predictors/stride.hh"
+#include "runner/runner.hh"
 #include "workload/workload.hh"
 
 using namespace gdiff;
-
-namespace {
-
-double
-runIpc(const std::string &name, const bench::BenchOptions &opt,
-       pipeline::VpScheme &scheme, pipeline::PipelineStats *out = nullptr)
-{
-    workload::Workload w = workload::makeWorkload(name, opt.seed);
-    auto exec = w.makeExecutor();
-    pipeline::OooPipeline pipe(pipeline::PipelineConfig::paper(),
-                               scheme);
-    pipeline::PipelineStats s =
-        pipe.run(*exec, opt.instructions, opt.warmup);
-    if (out)
-        *out = s;
-    return s.ipc;
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
@@ -49,6 +32,34 @@ main(int argc, char **argv)
                   "value-speculation speedups over the baseline "
                   "(4-wide, 64-entry window)",
                   opt);
+
+    runner::SweepSpec spec;
+    spec.mode = runner::JobMode::Pipeline;
+    spec.schemes = {"baseline", "l_stride", "l_context", "hgvq"};
+    spec.orders = {32};           // paper order for pipeline studies
+    spec.tables = {8192};
+    spec.seeds = {opt.seed};
+    spec.defaultInstructions = opt.instructions;
+    spec.warmup = opt.warmup;
+
+    runner::SweepRunner sweep(spec);
+    runner::CollectingSink results;
+    sweep.addSink(results);
+    runner::SweepOptions ropt;
+    ropt.threads = opt.threads;
+    sweep.run(ropt);
+
+    // Index results by (workload, scheme) for table assembly.
+    auto metric = [&](const std::string &workload,
+                      const std::string &scheme,
+                      const std::string &name) {
+        for (const auto &r : results.records())
+            if (r.spec.workload == workload &&
+                r.spec.scheme == scheme)
+                return r.result.metric(name);
+        panic("missing sweep cell %s/%s", workload.c_str(),
+              scheme.c_str());
+    };
 
     stats::Table t("Fig. 19 — speedups over baseline", "benchmark");
     t.addColumn("base IPC");
@@ -61,27 +72,10 @@ main(int argc, char **argv)
     double inv_sum_s = 0, inv_sum_c = 0, inv_sum_g = 0;
     size_t n = 0;
     for (const auto &name : workload::specWorkloadNames()) {
-        pipeline::NoPrediction base;
-        double ipc0 = runIpc(name, opt, base);
-
-        pipeline::LocalScheme lstride(
-            std::make_unique<predictors::StridePredictor>(8192),
-            "l_stride");
-        double ipc_s = runIpc(name, opt, lstride);
-
-        predictors::FcmConfig fcfg;
-        fcfg.level1Entries = 8192;
-        pipeline::LocalScheme lctx(
-            std::make_unique<predictors::DfcmPredictor>(fcfg),
-            "l_context");
-        double ipc_c = runIpc(name, opt, lctx);
-
-        core::GDiffConfig gcfg;
-        gcfg.order = 32;
-        gcfg.tableEntries = 8192;
-        pipeline::HgvqScheme hgvq(gcfg);
-        pipeline::PipelineStats gs;
-        double ipc_g = runIpc(name, opt, hgvq, &gs);
+        double ipc0 = metric(name, "baseline", "ipc");
+        double ipc_s = metric(name, "l_stride", "ipc");
+        double ipc_c = metric(name, "l_context", "ipc");
+        double ipc_g = metric(name, "hgvq", "ipc");
 
         auto speedup = [&](double ipc) { return ipc / ipc0 - 1.0; };
         t.beginRow(name);
@@ -89,8 +83,8 @@ main(int argc, char **argv)
         t.cellPercent(speedup(ipc_s));
         t.cellPercent(speedup(ipc_c));
         t.cellPercent(speedup(ipc_g));
-        t.cellPercent(gs.missLoadCoverage.value());
-        t.cellPercent(gs.missLoadAccuracy.value());
+        t.cellPercent(metric(name, "hgvq", "miss_load_coverage"));
+        t.cellPercent(metric(name, "hgvq", "miss_load_accuracy"));
 
         inv_sum_s += ipc0 / ipc_s;
         inv_sum_c += ipc0 / ipc_c;

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * gdiffrun — the parallel experiment-sweep driver.
+ *
+ * Expands a cartesian experiment grid into independent jobs and runs
+ * them across a thread pool, streaming structured results:
+ *
+ *   gdiffrun --grid 'workload=mcf,parser,gzip;predictor=stride,dfcm,gdiff;order=4,8' \
+ *            --threads=8 --out results.jsonl
+ *
+ *   gdiffrun --grid 'workload=mcf;scheme=baseline,l_stride,hgvq;order=32' \
+ *            --threads=4 --csv speedups.csv
+ *
+ * Per-job metrics are bit-identical whatever the thread count (see
+ * src/runner/runner.hh for the determinism contract). With
+ * --manifest, a killed sweep resumes where it stopped: completed jobs
+ * are journaled and skipped on rerun, and --out switches to append
+ * mode so the JSON-lines file accumulates across runs.
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runner/runner.hh"
+#include "util/logging.hh"
+#include "util/parse.hh"
+#include "workload/workload.hh"
+
+using namespace gdiff;
+
+namespace {
+
+struct Options
+{
+    std::string grid;
+    std::string out;      // JSON-lines path
+    std::string csv;      // CSV path
+    std::string manifest; // resume manifest path
+    unsigned threads = 0; // 0 = hardware concurrency
+    uint64_t instructions = 1'000'000;
+    uint64_t warmup = 100'000;
+    bool instructionsSet = false;
+    bool noTable = false;
+};
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s --grid 'key=v1,v2;key=...' [options]\n"
+        "\n"
+        "grid axes: workload, predictor (profile mode), scheme\n"
+        "  (pipeline mode), order, table, seed, instructions, mode\n"
+        "options:\n"
+        "  --threads=N      worker threads (default: hardware "
+        "concurrency)\n"
+        "  --out=FILE       JSON-lines results (appended when "
+        "resuming)\n"
+        "  --csv=FILE       CSV results\n"
+        "  --manifest=FILE  resume journal: completed jobs are "
+        "skipped on rerun\n"
+        "  --instructions=N measured instructions per job "
+        "(default 1000000)\n"
+        "  --warmup=N       warmup instructions per job "
+        "(default 100000)\n"
+        "  --no-table       suppress the human-readable table\n"
+        "workloads:",
+        argv0);
+    for (const auto &n : workload::specWorkloadNames())
+        std::fprintf(stderr, " %s", n.c_str());
+    std::fprintf(stderr, "\n");
+    std::exit(2);
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        // Accept both --flag=value and --flag value.
+        auto take = [&](const char *key, std::string &dest) {
+            std::string prefix = std::string(key) + "=";
+            if (a.rfind(prefix, 0) == 0) {
+                dest = a.substr(prefix.size());
+                return true;
+            }
+            if (a == key && i + 1 < argc) {
+                dest = argv[++i];
+                return true;
+            }
+            return false;
+        };
+        std::string v;
+        if (take("--grid", o.grid)) {
+        } else if (take("--out", o.out)) {
+        } else if (take("--csv", o.csv)) {
+        } else if (take("--manifest", o.manifest)) {
+        } else if (take("--threads", v)) {
+            o.threads =
+                static_cast<unsigned>(parseU64Flag("--threads",
+                                                   v.c_str()));
+        } else if (take("--instructions", v)) {
+            o.instructions = parseU64Flag("--instructions", v.c_str());
+            o.instructionsSet = true;
+        } else if (take("--warmup", v)) {
+            o.warmup = parseU64Flag("--warmup", v.c_str(), true);
+        } else if (a == "--no-table") {
+            o.noTable = true;
+        } else {
+            usage(argv[0]);
+        }
+    }
+    if (o.grid.empty())
+        usage(argv[0]);
+    return o;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options o = parse(argc, argv);
+
+    runner::SweepSpec spec = runner::SweepSpec::parseGrid(o.grid);
+    spec.defaultInstructions = o.instructions;
+    if (o.instructionsSet)
+        spec.instructionWindows.clear(); // CLI flag overrides the axis
+    spec.warmup = o.warmup;
+
+    runner::SweepRunner sweep(spec);
+
+    // Resuming implies appending: the jsonl file already holds the
+    // manifest-recorded jobs from the previous run.
+    bool resuming = !o.manifest.empty();
+    std::vector<std::unique_ptr<runner::ResultSink>> sinks;
+    if (!o.noTable)
+        sinks.push_back(std::make_unique<runner::TableSink>(
+            std::cout, "sweep over " + o.grid));
+    if (!o.out.empty())
+        sinks.push_back(
+            std::make_unique<runner::JsonlSink>(o.out, resuming));
+    if (!o.csv.empty())
+        sinks.push_back(std::make_unique<runner::CsvSink>(o.csv));
+    for (auto &s : sinks)
+        sweep.addSink(*s);
+
+    runner::SweepOptions ropt;
+    ropt.threads = o.threads;
+    ropt.manifestPath = o.manifest;
+
+    std::fprintf(stderr, "gdiffrun: %zu jobs, %u threads\n",
+                 sweep.jobs().size(),
+                 ropt.threads == 0 ? runner::defaultThreads()
+                                   : ropt.threads);
+    runner::SweepSummary s = sweep.run(ropt);
+    std::fprintf(stderr,
+                 "gdiffrun: ran %zu jobs (%zu resumed/skipped) in "
+                 "%.2fs\n",
+                 s.ranJobs, s.skippedJobs, s.wallSeconds);
+    return 0;
+}

@@ -25,17 +25,11 @@
 #include <string>
 #include <vector>
 
-#include "core/gdiff.hh"
-#include "core/gdiff2.hh"
 #include "pipeline/ooo_model.hh"
-#include "predictors/fcm.hh"
-#include "predictors/gfcm.hh"
-#include "predictors/hybrid.hh"
-#include "predictors/last_value.hh"
 #include "predictors/markov.hh"
-#include "predictors/pi.hh"
-#include "predictors/stride.hh"
+#include "runner/factory.hh"
 #include "sim/profile.hh"
+#include "util/parse.hh"
 #include "workload/assembler.hh"
 #include "workload/trace_io.hh"
 #include "workload/workload.hh"
@@ -110,16 +104,19 @@ parse(int argc, char **argv)
             while (std::getline(ss, item, ','))
                 o.predictors.push_back(item);
         } else if (take("--order", v)) {
-            o.order = static_cast<unsigned>(std::strtoul(
-                v.c_str(), nullptr, 10));
+            o.order = static_cast<unsigned>(
+                parseU64Flag("--order", v.c_str()));
         } else if (take("--table", v)) {
-            o.tableEntries = std::strtoull(v.c_str(), nullptr, 10);
+            // 0 = unlimited tables
+            o.tableEntries =
+                parseU64Flag("--table", v.c_str(), true);
         } else if (take("--instructions", v)) {
-            o.instructions = std::strtoull(v.c_str(), nullptr, 10);
+            o.instructions =
+                parseU64Flag("--instructions", v.c_str());
         } else if (take("--warmup", v)) {
-            o.warmup = std::strtoull(v.c_str(), nullptr, 10);
+            o.warmup = parseU64Flag("--warmup", v.c_str(), true);
         } else if (take("--seed", v)) {
-            o.seed = std::strtoull(v.c_str(), nullptr, 10);
+            o.seed = parseU64Flag("--seed", v.c_str(), true);
         } else {
             usage(argv[0]);
         }
@@ -144,43 +141,7 @@ makeSource(const Options &o)
 std::unique_ptr<predictors::ValuePredictor>
 makePredictor(const std::string &name, const Options &o)
 {
-    if (name == "last")
-        return std::make_unique<predictors::LastValuePredictor>(
-            o.tableEntries);
-    if (name == "lastn")
-        return std::make_unique<predictors::LastNValuePredictor>(
-            4, o.tableEntries);
-    if (name == "stride")
-        return std::make_unique<predictors::StridePredictor>(
-            o.tableEntries);
-    if (name == "fcm" || name == "dfcm") {
-        predictors::FcmConfig cfg;
-        cfg.level1Entries = o.tableEntries;
-        if (name == "fcm")
-            return std::make_unique<predictors::FcmPredictor>(cfg);
-        return std::make_unique<predictors::DfcmPredictor>(cfg);
-    }
-    if (name == "pi")
-        return std::make_unique<predictors::PiPredictor>(
-            o.tableEntries);
-    if (name == "gfcm")
-        return std::make_unique<predictors::GFcmPredictor>();
-    if (name == "hybrid")
-        return std::make_unique<predictors::HybridLocalPredictor>(
-            o.tableEntries);
-    if (name == "gdiff") {
-        core::GDiffConfig cfg;
-        cfg.order = o.order;
-        cfg.tableEntries = o.tableEntries;
-        return std::make_unique<core::GDiffPredictor>(cfg);
-    }
-    if (name == "gdiff2") {
-        core::GDiff2Config cfg;
-        cfg.order = o.order;
-        cfg.tableEntries = o.tableEntries;
-        return std::make_unique<core::GDiff2Predictor>(cfg);
-    }
-    fatal("unknown predictor '%s'", name.c_str());
+    return runner::makePredictor(name, o.order, o.tableEntries);
 }
 
 int
@@ -258,31 +219,11 @@ int
 runPipeline(const Options &o)
 {
     auto src = makeSource(o);
-    std::unique_ptr<pipeline::VpScheme> scheme;
-    if (o.scheme == "baseline") {
-        scheme = std::make_unique<pipeline::NoPrediction>();
-    } else if (o.scheme == "l_stride") {
-        scheme = std::make_unique<pipeline::LocalScheme>(
-            std::make_unique<predictors::StridePredictor>(
-                o.tableEntries),
-            "l_stride");
-    } else if (o.scheme == "l_context") {
-        predictors::FcmConfig cfg;
-        cfg.level1Entries = o.tableEntries;
-        scheme = std::make_unique<pipeline::LocalScheme>(
-            std::make_unique<predictors::DfcmPredictor>(cfg),
-            "l_context");
-    } else if (o.scheme == "sgvq" || o.scheme == "hgvq") {
-        core::GDiffConfig cfg;
-        cfg.order = o.order > 8 ? o.order : 32;
-        cfg.tableEntries = o.tableEntries;
-        if (o.scheme == "sgvq")
-            scheme = std::make_unique<pipeline::SgvqScheme>(cfg);
-        else
-            scheme = std::make_unique<pipeline::HgvqScheme>(cfg);
-    } else {
-        fatal("unknown scheme '%s'", o.scheme.c_str());
-    }
+    // The gdiff schemes default to the paper's pipeline order of 32
+    // unless the user asked for a larger window explicitly.
+    unsigned order = o.order > 8 ? o.order : 32;
+    std::unique_ptr<pipeline::VpScheme> scheme =
+        runner::makeScheme(o.scheme, order, o.tableEntries);
 
     pipeline::OooPipeline pipe(pipeline::PipelineConfig::paper(),
                                *scheme);

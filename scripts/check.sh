@@ -12,4 +12,20 @@ for b in build/bench/*; do
         *) "$b" --instructions=200000 --warmup=40000 ;;
     esac
 done
+# Smoke sweep through the parallel runner: thread pool, structured
+# sinks, and manifest resume (the rerun must skip every job).
+rm -f build/smoke.jsonl build/smoke.csv build/smoke.manifest
+./build/examples/gdiffrun \
+    --grid 'workload=mcf,parser,gzip;predictor=stride,dfcm,gdiff;order=4,8' \
+    --threads=4 --instructions=100000 --warmup=20000 \
+    --out build/smoke.jsonl --csv build/smoke.csv \
+    --manifest build/smoke.manifest
+[ "$(wc -l < build/smoke.jsonl)" -eq 18 ] || {
+    echo "smoke sweep: expected 18 jsonl lines"; exit 1; }
+./build/examples/gdiffrun \
+    --grid 'workload=mcf,parser,gzip;predictor=stride,dfcm,gdiff;order=4,8' \
+    --threads=4 --instructions=100000 --warmup=20000 \
+    --out build/smoke.jsonl --manifest build/smoke.manifest \
+    --no-table 2>&1 | grep -q 'ran 0 jobs (18 resumed/skipped)' || {
+    echo "smoke sweep: resume did not skip completed jobs"; exit 1; }
 echo "all checks passed"

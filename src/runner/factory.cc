@@ -1,0 +1,107 @@
+#include "runner/factory.hh"
+
+#include "core/gdiff.hh"
+#include "core/gdiff2.hh"
+#include "predictors/fcm.hh"
+#include "predictors/gfcm.hh"
+#include "predictors/hybrid.hh"
+#include "predictors/last_value.hh"
+#include "predictors/pi.hh"
+#include "predictors/stride.hh"
+#include "util/logging.hh"
+
+namespace gdiff {
+namespace runner {
+
+const std::vector<std::string> &
+predictorNames()
+{
+    static const std::vector<std::string> names = {
+        "last", "lastn", "stride", "fcm",   "dfcm",
+        "hybrid", "pi",  "gfcm",   "gdiff", "gdiff2"};
+    return names;
+}
+
+const std::vector<std::string> &
+schemeNames()
+{
+    static const std::vector<std::string> names = {
+        "baseline", "l_stride", "l_context", "sgvq", "hgvq"};
+    return names;
+}
+
+std::unique_ptr<predictors::ValuePredictor>
+makePredictor(const std::string &name, unsigned order,
+              uint64_t table_entries)
+{
+    if (name == "last")
+        return std::make_unique<predictors::LastValuePredictor>(
+            table_entries);
+    if (name == "lastn")
+        return std::make_unique<predictors::LastNValuePredictor>(
+            4, table_entries);
+    if (name == "stride")
+        return std::make_unique<predictors::StridePredictor>(
+            table_entries);
+    if (name == "fcm" || name == "dfcm") {
+        predictors::FcmConfig cfg;
+        cfg.level1Entries = table_entries;
+        if (name == "fcm")
+            return std::make_unique<predictors::FcmPredictor>(cfg);
+        return std::make_unique<predictors::DfcmPredictor>(cfg);
+    }
+    if (name == "pi")
+        return std::make_unique<predictors::PiPredictor>(
+            table_entries);
+    if (name == "gfcm")
+        return std::make_unique<predictors::GFcmPredictor>();
+    if (name == "hybrid")
+        return std::make_unique<predictors::HybridLocalPredictor>(
+            table_entries);
+    if (name == "gdiff") {
+        core::GDiffConfig cfg;
+        cfg.order = order;
+        cfg.tableEntries = table_entries;
+        return std::make_unique<core::GDiffPredictor>(cfg);
+    }
+    if (name == "gdiff2") {
+        core::GDiff2Config cfg;
+        cfg.order = order;
+        cfg.tableEntries = table_entries;
+        return std::make_unique<core::GDiff2Predictor>(cfg);
+    }
+    fatal("unknown predictor '%s'", name.c_str());
+}
+
+std::unique_ptr<pipeline::VpScheme>
+makeScheme(const std::string &name, unsigned order,
+           uint64_t table_entries)
+{
+    if (name == "baseline")
+        return std::make_unique<pipeline::NoPrediction>();
+    if (name == "l_stride") {
+        return std::make_unique<pipeline::LocalScheme>(
+            std::make_unique<predictors::StridePredictor>(
+                table_entries),
+            "l_stride");
+    }
+    if (name == "l_context") {
+        predictors::FcmConfig cfg;
+        cfg.level1Entries = table_entries;
+        return std::make_unique<pipeline::LocalScheme>(
+            std::make_unique<predictors::DfcmPredictor>(cfg),
+            "l_context");
+    }
+    if (name == "sgvq" || name == "hgvq") {
+        core::GDiffConfig cfg;
+        cfg.order = order;
+        cfg.tableEntries = table_entries;
+        if (name == "sgvq")
+            return std::make_unique<pipeline::SgvqScheme>(cfg);
+        return std::make_unique<pipeline::HgvqScheme>(cfg);
+    }
+    fatal("unknown scheme '%s'", name.c_str());
+}
+
+} // namespace runner
+} // namespace gdiff

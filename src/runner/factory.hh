@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Name-based construction of predictors and value-speculation
+ * schemes — the single registry behind gdiffsim's --predictors/
+ * --scheme flags and the runner's grid axes, so a name means the same
+ * configuration everywhere.
+ */
+
+#ifndef GDIFF_RUNNER_FACTORY_HH
+#define GDIFF_RUNNER_FACTORY_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pipeline/vp_scheme.hh"
+#include "predictors/value_predictor.hh"
+
+namespace gdiff {
+namespace runner {
+
+/** @return the predictor names makePredictor() accepts. */
+const std::vector<std::string> &predictorNames();
+
+/** @return the scheme names makeScheme() accepts. */
+const std::vector<std::string> &schemeNames();
+
+/**
+ * Construct a value predictor by name.
+ *
+ * @param name          one of predictorNames() (last, lastn, stride,
+ *                      fcm, dfcm, hybrid, pi, gfcm, gdiff, gdiff2).
+ * @param order         gdiff/gdiff2 order (ignored by the others).
+ * @param table_entries table size; 0 = unlimited.
+ * Calls fatal() on an unknown name.
+ */
+std::unique_ptr<predictors::ValuePredictor>
+makePredictor(const std::string &name, unsigned order,
+              uint64_t table_entries);
+
+/**
+ * Construct a pipeline value-speculation scheme by name.
+ *
+ * @param name          one of schemeNames() (baseline, l_stride,
+ *                      l_context, sgvq, hgvq).
+ * @param order         gdiff order for sgvq/hgvq.
+ * @param table_entries prediction-table entries; 0 = unlimited.
+ * Calls fatal() on an unknown name.
+ */
+std::unique_ptr<pipeline::VpScheme>
+makeScheme(const std::string &name, unsigned order,
+           uint64_t table_entries);
+
+} // namespace runner
+} // namespace gdiff
+
+#endif // GDIFF_RUNNER_FACTORY_HH

@@ -1,0 +1,62 @@
+#include "runner/job.hh"
+
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace gdiff {
+namespace runner {
+
+const char *
+jobModeName(JobMode mode)
+{
+    return mode == JobMode::Profile ? "profile" : "pipeline";
+}
+
+JobMode
+parseJobMode(const std::string &name)
+{
+    if (name == "profile")
+        return JobMode::Profile;
+    if (name == "pipeline")
+        return JobMode::Pipeline;
+    fatal("unknown job mode '%s' (expected profile|pipeline)",
+          name.c_str());
+}
+
+std::string
+JobSpec::key() const
+{
+    std::ostringstream os;
+    os << "mode=" << jobModeName(mode) << " workload=" << workload;
+    if (mode == JobMode::Profile)
+        os << " predictor=" << predictor;
+    else
+        os << " scheme=" << scheme;
+    os << " order=" << order << " table=" << tableEntries
+       << " seed=" << seed << " instructions=" << instructions
+       << " warmup=" << warmup;
+    return os.str();
+}
+
+std::string
+JobSpec::label() const
+{
+    std::ostringstream os;
+    os << workload << '/'
+       << (mode == JobMode::Profile ? predictor : scheme);
+    os << "[o=" << order << ",s=" << seed << ']';
+    return os.str();
+}
+
+double
+JobResult::metric(const std::string &name, double fallback) const
+{
+    for (const auto &[k, v] : metrics)
+        if (k == name)
+            return v;
+    return fallback;
+}
+
+} // namespace runner
+} // namespace gdiff

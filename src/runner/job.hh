@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The sweep runner's job model.
+ *
+ * A JobSpec is a fully declarative description of one independent
+ * simulation — everything needed to reconstruct the workload, the
+ * predictor or scheme, and the run budget. Declarative specs are what
+ * make the runner deterministic: a job's result depends only on its
+ * spec, never on which thread ran it or in what order, and a job's
+ * key() is a stable identity usable for resume manifests and
+ * result-file joins.
+ */
+
+#ifndef GDIFF_RUNNER_JOB_HH
+#define GDIFF_RUNNER_JOB_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gdiff {
+namespace runner {
+
+/** Experiment kind a job runs. */
+enum class JobMode {
+    Profile, ///< architectural-order value profiling (Fig. 8 style)
+    Pipeline ///< full OOO timing run with a VP scheme (§4-§7)
+};
+
+/** @return the mode's canonical spelling ("profile" / "pipeline"). */
+const char *jobModeName(JobMode mode);
+
+/** Parse a mode name; calls fatal() on anything unrecognised. */
+JobMode parseJobMode(const std::string &name);
+
+/**
+ * One cell of an experiment grid: a single (workload, predictor or
+ * scheme, configuration, budget) simulation.
+ */
+struct JobSpec
+{
+    std::string workload = "parser"; ///< kernel name (makeWorkload)
+    JobMode mode = JobMode::Profile;
+    /// profile mode: predictor name (stride, dfcm, gdiff, ...)
+    std::string predictor = "stride";
+    /// pipeline mode: scheme name (baseline, l_stride, l_context,
+    /// sgvq, hgvq)
+    std::string scheme = "baseline";
+    unsigned order = 8;          ///< gdiff order / GVQ window
+    uint64_t tableEntries = 8192; ///< prediction-table entries; 0 = unlimited
+    uint64_t seed = 1;           ///< workload synthesis seed
+    uint64_t instructions = 1'000'000; ///< measured instructions
+    uint64_t warmup = 100'000;         ///< warmup instructions
+
+    /**
+     * @return the canonical identity string, e.g.
+     * "mode=profile workload=mcf predictor=gdiff order=8 table=8192
+     *  seed=1 instructions=1000000 warmup=100000".
+     * Equal specs produce equal keys; the resume manifest and the
+     * structured sinks use it as the join key.
+     */
+    std::string key() const;
+
+    /** @return a short human label for tables/progress lines, e.g.
+     * "mcf/gdiff[o=8,s=1]". */
+    std::string label() const;
+};
+
+/**
+ * Outcome of one job: named metrics plus run metadata.
+ *
+ * `metrics` (ordered name/value pairs) is the deterministic payload —
+ * bit-identical for identical specs regardless of thread count.
+ * `wallSeconds` and `instructionsPerSec` are timing metadata and
+ * naturally vary run to run.
+ */
+struct JobResult
+{
+    std::vector<std::pair<std::string, double>> metrics;
+    double wallSeconds = 0.0;
+    double instructionsPerSec = 0.0;
+
+    /** @return the named metric, or @p fallback if absent. */
+    double metric(const std::string &name, double fallback = 0.0) const;
+};
+
+/** A completed job as delivered to result sinks. */
+struct JobRecord
+{
+    size_t index = 0; ///< position in the expanded grid (stable)
+    JobSpec spec;
+    JobResult result;
+};
+
+} // namespace runner
+} // namespace gdiff
+
+#endif // GDIFF_RUNNER_JOB_HH

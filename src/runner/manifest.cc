@@ -1,0 +1,53 @@
+#include "runner/manifest.hh"
+
+#include <fstream>
+
+#include "util/logging.hh"
+
+namespace gdiff {
+namespace runner {
+
+Manifest::Manifest(const std::string &path)
+{
+    // Load keys from a previous run, tolerating a missing file (first
+    // run) and a torn final line (killed mid-append): a line only
+    // counts if it ends in '\n'.
+    std::ifstream in(path);
+    if (in.is_open()) {
+        std::string line;
+        while (std::getline(in, line)) {
+            if (in.eof() && !line.empty())
+                break; // torn tail — the job will simply rerun
+            if (!line.empty() && line[0] != '#')
+                done.insert(line);
+        }
+        in.close();
+    }
+    file = std::fopen(path.c_str(), "ab");
+    if (!file)
+        fatal("cannot open manifest '%s' for append", path.c_str());
+}
+
+Manifest::~Manifest()
+{
+    if (file)
+        std::fclose(file);
+}
+
+bool
+Manifest::contains(const std::string &key) const
+{
+    return done.count(key) != 0;
+}
+
+void
+Manifest::markDone(const std::string &key)
+{
+    if (!done.insert(key).second)
+        return;
+    std::fprintf(file, "%s\n", key.c_str());
+    std::fflush(file);
+}
+
+} // namespace runner
+} // namespace gdiff

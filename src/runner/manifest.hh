@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Resume manifest: the sweep runner's crash-recovery journal.
+ *
+ * One line per completed job (the JobSpec key), appended and flushed
+ * the moment the job's results have been delivered to every sink. A
+ * rerun of the same sweep pointed at the same manifest skips every
+ * job whose key is already present, so a killed multi-hour sweep
+ * resumes where it stopped instead of starting over.
+ */
+
+#ifndef GDIFF_RUNNER_MANIFEST_HH
+#define GDIFF_RUNNER_MANIFEST_HH
+
+#include <cstdio>
+#include <string>
+#include <unordered_set>
+
+namespace gdiff {
+namespace runner {
+
+/** Append-only set of completed job keys, backed by a text file. */
+class Manifest
+{
+  public:
+    /**
+     * Open (or create) the manifest at @p path, loading any keys a
+     * previous run recorded. Calls fatal() if the file cannot be
+     * created.
+     */
+    explicit Manifest(const std::string &path);
+    ~Manifest();
+
+    Manifest(const Manifest &) = delete;
+    Manifest &operator=(const Manifest &) = delete;
+
+    /** @return true if @p key was completed by a previous run. */
+    bool contains(const std::string &key) const;
+
+    /**
+     * Record @p key as completed: appended to the file and flushed
+     * before returning. Not thread-safe; the runner serialises calls
+     * under its sink lock.
+     */
+    void markDone(const std::string &key);
+
+    /** @return number of completed keys known (loaded + added). */
+    size_t size() const { return done.size(); }
+
+  private:
+    std::unordered_set<std::string> done;
+    std::FILE *file = nullptr;
+};
+
+} // namespace runner
+} // namespace gdiff
+
+#endif // GDIFF_RUNNER_MANIFEST_HH

@@ -1,0 +1,200 @@
+#include "runner/runner.hh"
+
+#include <chrono>
+#include <memory>
+
+#include "pipeline/config.hh"
+#include "pipeline/ooo_model.hh"
+#include "runner/factory.hh"
+#include "sim/profile.hh"
+#include "util/logging.hh"
+#include "workload/workload.hh"
+
+namespace gdiff {
+namespace runner {
+
+unsigned
+defaultThreads()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : n;
+}
+
+// ------------------------------------------------------- ThreadPool
+
+ThreadPool::ThreadPool(unsigned threads)
+    : nThreads(threads == 0 ? defaultThreads() : threads)
+{}
+
+void
+ThreadPool::forEach(size_t count,
+                    const std::function<void(size_t)> &task)
+{
+    if (count == 0)
+        return;
+    if (nThreads == 1) {
+        for (size_t i = 0; i < count; ++i)
+            task(i);
+        return;
+    }
+    std::atomic<size_t> next{0};
+    auto worker = [&] {
+        for (size_t i = next.fetch_add(1, std::memory_order_relaxed);
+             i < count;
+             i = next.fetch_add(1, std::memory_order_relaxed)) {
+            task(i);
+        }
+    };
+    std::vector<std::thread> pool;
+    unsigned spawn = static_cast<unsigned>(
+        std::min<size_t>(nThreads, count));
+    pool.reserve(spawn);
+    // The calling thread is worker 0; spawn-1 helpers join it.
+    for (unsigned t = 1; t < spawn; ++t)
+        pool.emplace_back(worker);
+    worker();
+    for (auto &th : pool)
+        th.join();
+}
+
+// ----------------------------------------------------------- runJob
+
+namespace {
+
+JobResult
+runProfileJob(const JobSpec &spec)
+{
+    workload::Workload w =
+        workload::makeWorkload(spec.workload, spec.seed);
+    auto exec = w.makeExecutor();
+    auto pred =
+        makePredictor(spec.predictor, spec.order, spec.tableEntries);
+
+    sim::ProfileConfig pcfg;
+    pcfg.maxInstructions = spec.instructions;
+    pcfg.warmupInstructions = spec.warmup;
+    sim::ValueProfileRunner profile(pcfg);
+    profile.addPredictor(*pred);
+    profile.run(*exec);
+
+    const sim::ProfileSeries &s = profile.results().front();
+    JobResult r;
+    r.metrics = {
+        {"accuracy", s.accuracyAll.value()},
+        {"coverage", s.coverage.value()},
+        {"gated_accuracy", s.accuracyGated.value()},
+    };
+    return r;
+}
+
+JobResult
+runPipelineJob(const JobSpec &spec)
+{
+    workload::Workload w =
+        workload::makeWorkload(spec.workload, spec.seed);
+    auto exec = w.makeExecutor();
+    auto scheme =
+        makeScheme(spec.scheme, spec.order, spec.tableEntries);
+
+    pipeline::OooPipeline pipe(pipeline::PipelineConfig::paper(),
+                               *scheme);
+    pipeline::PipelineStats s =
+        pipe.run(*exec, spec.instructions, spec.warmup);
+
+    JobResult r;
+    r.metrics = {
+        {"ipc", s.ipc},
+        {"cycles", static_cast<double>(s.cycles)},
+        {"dcache_miss_rate", s.dcacheMissRate},
+        {"branch_accuracy", s.branchAccuracy},
+        {"vp_coverage", s.coverage.value()},
+        {"vp_accuracy", s.gatedAccuracy.value()},
+        {"miss_load_coverage", s.missLoadCoverage.value()},
+        {"miss_load_accuracy", s.missLoadAccuracy.value()},
+        {"avg_value_delay", s.valueDelay.mean()},
+    };
+    return r;
+}
+
+} // anonymous namespace
+
+JobResult
+runJob(const JobSpec &spec)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    JobResult r = spec.mode == JobMode::Profile
+                      ? runProfileJob(spec)
+                      : runPipelineJob(spec);
+    std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+    r.wallSeconds = dt.count();
+    uint64_t total = spec.instructions + spec.warmup;
+    r.instructionsPerSec =
+        r.wallSeconds > 0 ? static_cast<double>(total) / r.wallSeconds
+                          : 0.0;
+    return r;
+}
+
+// ------------------------------------------------------ SweepRunner
+
+SweepRunner::SweepRunner(const SweepSpec &spec) : jobList(spec.expand())
+{}
+
+SweepRunner::SweepRunner(std::vector<JobSpec> jobs)
+    : jobList(std::move(jobs))
+{}
+
+void
+SweepRunner::addSink(ResultSink &sink)
+{
+    sinks.push_back(&sink);
+}
+
+SweepSummary
+SweepRunner::run(const SweepOptions &options)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    SweepSummary summary;
+    summary.totalJobs = jobList.size();
+
+    std::unique_ptr<Manifest> manifest;
+    if (!options.manifestPath.empty())
+        manifest = std::make_unique<Manifest>(options.manifestPath);
+
+    // Decide up front which grid indices still need to run, so the
+    // pool's shared queue only contains real work.
+    std::vector<size_t> todo;
+    todo.reserve(jobList.size());
+    for (size_t i = 0; i < jobList.size(); ++i) {
+        if (manifest && manifest->contains(jobList[i].key()))
+            ++summary.skippedJobs;
+        else
+            todo.push_back(i);
+    }
+
+    std::mutex sinkLock;
+    ThreadPool pool(options.threads);
+    pool.forEach(todo.size(), [&](size_t t) {
+        size_t index = todo[t];
+        // Job execution is lock-free and fully isolated; only result
+        // delivery serialises.
+        JobRecord rec{index, jobList[index], runJob(jobList[index])};
+        std::lock_guard<std::mutex> guard(sinkLock);
+        for (ResultSink *sink : sinks)
+            sink->onJob(rec);
+        if (manifest)
+            manifest->markDone(rec.spec.key());
+        ++summary.ranJobs;
+    });
+
+    for (ResultSink *sink : sinks)
+        sink->finish();
+
+    std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+    summary.wallSeconds = dt.count();
+    return summary;
+}
+
+} // namespace runner
+} // namespace gdiff

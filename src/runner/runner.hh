@@ -1,0 +1,117 @@
+/**
+ * @file
+ * The parallel experiment-sweep runner.
+ *
+ * Every figure/table in the paper's evaluation is a grid of
+ * *independent* simulations, so the runner treats the expanded grid
+ * as a job pool: a fixed-size ThreadPool pulls jobs from a shared
+ * atomic queue, runs each in a fully isolated simulation context
+ * (its own workload, predictor/scheme, caches — constructed from the
+ * JobSpec alone), and delivers results to the registered ResultSinks
+ * under one lock.
+ *
+ * Determinism contract: a job's metrics depend only on its spec.
+ * Nothing a job reads is shared or mutable, the seed comes from the
+ * spec, and no job observes another job's completion. Therefore
+ * --threads=1 and --threads=N produce bit-identical per-job metrics;
+ * only completion order and wall-clock metadata differ. This is
+ * pinned by tests/test_runner.cc.
+ */
+
+#ifndef GDIFF_RUNNER_RUNNER_HH
+#define GDIFF_RUNNER_RUNNER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runner/job.hh"
+#include "runner/manifest.hh"
+#include "runner/sinks.hh"
+#include "runner/sweep_spec.hh"
+
+namespace gdiff {
+namespace runner {
+
+/** @return the default worker count: hardware concurrency, min 1. */
+unsigned defaultThreads();
+
+/**
+ * Fixed-size pool executing a batch of independent tasks via a shared
+ * atomic work queue (each idle worker claims the next unclaimed
+ * index — the degenerate but contention-free form of work stealing
+ * for uniform job pools).
+ */
+class ThreadPool
+{
+  public:
+    /** @param threads worker count; 0 = defaultThreads(). */
+    explicit ThreadPool(unsigned threads);
+
+    /** @return the actual worker count. */
+    unsigned threads() const { return nThreads; }
+
+    /**
+     * Run @p task(i) for every i in [0, count), distributing indices
+     * across the workers; blocks until all complete. With one worker
+     * the tasks run inline on the calling thread in index order.
+     */
+    void forEach(size_t count, const std::function<void(size_t)> &task);
+
+  private:
+    unsigned nThreads;
+};
+
+/** Execute one job in an isolated simulation context. */
+JobResult runJob(const JobSpec &spec);
+
+/** Knobs for SweepRunner::run. */
+struct SweepOptions
+{
+    unsigned threads = 0;      ///< worker count; 0 = hardware
+    std::string manifestPath;  ///< resume manifest; empty = disabled
+};
+
+/** What a sweep did, for the caller's summary line. */
+struct SweepSummary
+{
+    size_t totalJobs = 0;   ///< jobs in the expanded grid
+    size_t ranJobs = 0;     ///< jobs executed this run
+    size_t skippedJobs = 0; ///< jobs skipped via the resume manifest
+    double wallSeconds = 0; ///< whole-sweep wall time
+};
+
+/** Expands a grid and runs it through the pool into the sinks. */
+class SweepRunner
+{
+  public:
+    /** @param spec the grid; expanded once, in stable order. */
+    explicit SweepRunner(const SweepSpec &spec);
+
+    /** @param jobs an explicit job list (pre-expanded grids). */
+    explicit SweepRunner(std::vector<JobSpec> jobs);
+
+    /** Register a sink (non-owning). Call before run(). */
+    void addSink(ResultSink &sink);
+
+    /** @return the expanded jobs, in grid order. */
+    const std::vector<JobSpec> &jobs() const { return jobList; }
+
+    /**
+     * Run every job not already recorded in the manifest, deliver
+     * each result to every sink, then finish() the sinks.
+     */
+    SweepSummary run(const SweepOptions &options = SweepOptions());
+
+  private:
+    std::vector<JobSpec> jobList;
+    std::vector<ResultSink *> sinks;
+};
+
+} // namespace runner
+} // namespace gdiff
+
+#endif // GDIFF_RUNNER_RUNNER_HH

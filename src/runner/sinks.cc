@@ -1,0 +1,229 @@
+#include "runner/sinks.hh"
+
+#include <algorithm>
+#include <cinttypes>
+
+#include "util/logging.hh"
+
+namespace gdiff {
+namespace runner {
+
+namespace {
+
+void
+sortByIndex(std::vector<JobRecord> &recs)
+{
+    std::sort(recs.begin(), recs.end(),
+              [](const JobRecord &a, const JobRecord &b) {
+                  return a.index < b.index;
+              });
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        if (static_cast<unsigned char>(c) < 0x20)
+            c = ' ';
+        out += c;
+    }
+    return out;
+}
+
+/** Shortest round-trippable decimal form of a double. */
+std::string
+jsonDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+} // anonymous namespace
+
+// --------------------------------------------------- CollectingSink
+
+void
+CollectingSink::onJob(const JobRecord &record)
+{
+    recs.push_back(record);
+}
+
+void
+CollectingSink::finish()
+{
+    sortByIndex(recs);
+}
+
+// -------------------------------------------------------- TableSink
+
+TableSink::TableSink(std::ostream &os, std::string title, bool csv)
+    : os(os), title(std::move(title)), csv(csv)
+{}
+
+void
+TableSink::onJob(const JobRecord &record)
+{
+    recs.push_back(record);
+}
+
+void
+TableSink::finish()
+{
+    if (recs.empty())
+        return;
+    sortByIndex(recs);
+    stats::Table t(title, "job");
+    for (const auto &[name, value] : recs.front().result.metrics) {
+        (void)value;
+        t.addColumn(name);
+    }
+    t.addColumn("Minst/s");
+    for (const auto &r : recs) {
+        t.beginRow(r.spec.label());
+        for (const auto &[name, value] : recs.front().result.metrics) {
+            (void)value;
+            t.cellDouble(r.result.metric(name), 4);
+        }
+        t.cellDouble(r.result.instructionsPerSec / 1e6, 2);
+    }
+    t.print(os);
+    if (csv) {
+        t.printCsv(os);
+        os << '\n';
+    }
+}
+
+// ---------------------------------------------------------- CsvSink
+
+CsvSink::CsvSink(const std::string &path) : path(path)
+{
+    file = std::fopen(path.c_str(), "wb");
+    if (!file)
+        fatal("cannot create CSV file '%s'", path.c_str());
+}
+
+CsvSink::~CsvSink()
+{
+    if (file)
+        std::fclose(file);
+}
+
+void
+CsvSink::onJob(const JobRecord &record)
+{
+    recs.push_back(record);
+}
+
+void
+CsvSink::finish()
+{
+    GDIFF_ASSERT(file != nullptr, "CsvSink::finish called twice");
+    sortByIndex(recs);
+    std::fprintf(file, "index,workload,mode,predictor,scheme,order,"
+                       "table,seed,instructions,warmup");
+    if (!recs.empty())
+        for (const auto &[name, value] : recs.front().result.metrics) {
+            (void)value;
+            std::fprintf(file, ",%s", name.c_str());
+        }
+    std::fprintf(file, ",wall_seconds,instructions_per_sec\n");
+    for (const auto &r : recs) {
+        const JobSpec &s = r.spec;
+        std::fprintf(file,
+                     "%zu,%s,%s,%s,%s,%u,%" PRIu64 ",%" PRIu64
+                     ",%" PRIu64 ",%" PRIu64,
+                     r.index, s.workload.c_str(), jobModeName(s.mode),
+                     s.mode == JobMode::Profile ? s.predictor.c_str()
+                                                : "",
+                     s.mode == JobMode::Pipeline ? s.scheme.c_str()
+                                                 : "",
+                     s.order, s.tableEntries, s.seed, s.instructions,
+                     s.warmup);
+        for (const auto &[name, value] : recs.front().result.metrics) {
+            (void)value;
+            std::fprintf(file, ",%s",
+                         jsonDouble(r.result.metric(name)).c_str());
+        }
+        std::fprintf(file, ",%.3f,%.0f\n", r.result.wallSeconds,
+                     r.result.instructionsPerSec);
+    }
+    std::fclose(file);
+    file = nullptr;
+}
+
+// -------------------------------------------------------- JsonlSink
+
+JsonlSink::JsonlSink(const std::string &path, bool append)
+{
+    file = std::fopen(path.c_str(), append ? "ab" : "wb");
+    if (!file)
+        fatal("cannot open JSON-lines file '%s'", path.c_str());
+}
+
+JsonlSink::~JsonlSink()
+{
+    if (file)
+        std::fclose(file);
+}
+
+std::string
+JsonlSink::deterministicJson(const JobRecord &record)
+{
+    const JobSpec &s = record.spec;
+    std::string out = "{\"workload\":\"" + jsonEscape(s.workload) +
+                      "\",\"mode\":\"" + jobModeName(s.mode) + "\"";
+    if (s.mode == JobMode::Profile)
+        out += ",\"predictor\":\"" + jsonEscape(s.predictor) + "\"";
+    else
+        out += ",\"scheme\":\"" + jsonEscape(s.scheme) + "\"";
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  ",\"order\":%u,\"table\":%" PRIu64
+                  ",\"seed\":%" PRIu64 ",\"instructions\":%" PRIu64
+                  ",\"warmup\":%" PRIu64 ",\"index\":%zu",
+                  s.order, s.tableEntries, s.seed, s.instructions,
+                  s.warmup, record.index);
+    out += buf;
+    out += ",\"metrics\":{";
+    bool first = true;
+    for (const auto &[name, value] : record.result.metrics) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += '"' + jsonEscape(name) + "\":" + jsonDouble(value);
+    }
+    out += "}}";
+    return out;
+}
+
+void
+JsonlSink::onJob(const JobRecord &record)
+{
+    GDIFF_ASSERT(file != nullptr, "JsonlSink used after finish");
+    std::string det = deterministicJson(record);
+    // Timing metadata rides outside the deterministic payload: the
+    // closing brace is reopened so the line stays one JSON object.
+    det.pop_back();
+    std::fprintf(file, "%s,\"wall_seconds\":%.6f,"
+                       "\"instructions_per_sec\":%.0f}\n",
+                 det.c_str(), record.result.wallSeconds,
+                 record.result.instructionsPerSec);
+    std::fflush(file);
+}
+
+void
+JsonlSink::finish()
+{
+    if (file) {
+        std::fclose(file);
+        file = nullptr;
+    }
+}
+
+} // namespace runner
+} // namespace gdiff

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Pluggable result sinks for the sweep runner.
+ *
+ * The runner delivers each completed job to every registered sink in
+ * completion order (serialised under the runner's sink lock, so sink
+ * implementations need no internal locking). Because completion order
+ * varies with the thread count, sinks that promise a stable layout
+ * (table, CSV) buffer records and emit sorted by job index at
+ * finish(); the JSON-lines sink streams immediately — line order is
+ * nondeterministic but line *content* is bit-identical, and each line
+ * is flushed so a killed sweep keeps everything it completed.
+ */
+
+#ifndef GDIFF_RUNNER_SINKS_HH
+#define GDIFF_RUNNER_SINKS_HH
+
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "runner/job.hh"
+#include "stats/table.hh"
+
+namespace gdiff {
+namespace runner {
+
+/** Consumer of completed jobs. */
+class ResultSink
+{
+  public:
+    virtual ~ResultSink() = default;
+
+    /** One job finished. Called in completion order, serialised. */
+    virtual void onJob(const JobRecord &record) = 0;
+
+    /** All jobs finished; flush/emit final output. */
+    virtual void finish() {}
+};
+
+/** Buffers every record in memory, sorted by job index at finish(). */
+class CollectingSink : public ResultSink
+{
+  public:
+    void onJob(const JobRecord &record) override;
+    void finish() override;
+
+    /** @return records sorted by job index (valid after finish()). */
+    const std::vector<JobRecord> &records() const { return recs; }
+
+  private:
+    std::vector<JobRecord> recs;
+};
+
+/**
+ * Renders the sweep as a stats::Table: one row per job (grid order),
+ * one column per metric of the first job.
+ */
+class TableSink : public ResultSink
+{
+  public:
+    /**
+     * @param os    destination stream (written at finish()).
+     * @param title table caption.
+     * @param csv   also render the table as CSV after the text form.
+     */
+    explicit TableSink(std::ostream &os,
+                       std::string title = "sweep results",
+                       bool csv = false);
+
+    void onJob(const JobRecord &record) override;
+    void finish() override;
+
+  private:
+    std::ostream &os;
+    std::string title;
+    bool csv;
+    std::vector<JobRecord> recs;
+};
+
+/**
+ * CSV file sink: header = spec columns + metric names + metadata,
+ * rows sorted by job index, written at finish().
+ */
+class CsvSink : public ResultSink
+{
+  public:
+    /** Open @p path for writing (truncates); fatal() on failure. */
+    explicit CsvSink(const std::string &path);
+    ~CsvSink() override;
+
+    void onJob(const JobRecord &record) override;
+    void finish() override;
+
+  private:
+    std::string path;
+    std::FILE *file = nullptr;
+    std::vector<JobRecord> recs;
+};
+
+/**
+ * JSON-lines sink: one self-describing object per job with the full
+ * spec, metrics, and timing metadata. Lines are appended and flushed
+ * as jobs complete, making the file crash-durable and append-friendly
+ * for resumed sweeps.
+ */
+class JsonlSink : public ResultSink
+{
+  public:
+    /**
+     * @param path   output file.
+     * @param append open in append mode (resumed sweeps) instead of
+     *               truncating.
+     */
+    explicit JsonlSink(const std::string &path, bool append = false);
+    ~JsonlSink() override;
+
+    void onJob(const JobRecord &record) override;
+    void finish() override;
+
+    /**
+     * @return the deterministic JSON payload for a record — the line
+     * written minus the timing metadata. Exposed so tests can compare
+     * runs order-independently.
+     */
+    static std::string deterministicJson(const JobRecord &record);
+
+  private:
+    std::FILE *file = nullptr;
+};
+
+} // namespace runner
+} // namespace gdiff
+
+#endif // GDIFF_RUNNER_SINKS_HH

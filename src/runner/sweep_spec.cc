@@ -1,0 +1,152 @@
+#include "runner/sweep_spec.hh"
+
+#include <sstream>
+
+#include "util/logging.hh"
+#include "util/parse.hh"
+#include "workload/workload.hh"
+
+namespace gdiff {
+namespace runner {
+
+namespace {
+
+/** Split @p text on @p sep; empty pieces are dropped. */
+std::vector<std::string>
+split(const std::string &text, char sep)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(text);
+    std::string item;
+    while (std::getline(ss, item, sep))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+/** Effective axis values: the list itself, or the fallback. */
+template <typename T>
+std::vector<T>
+axisOr(const std::vector<T> &axis, std::vector<T> fallback)
+{
+    return axis.empty() ? std::move(fallback) : axis;
+}
+
+} // anonymous namespace
+
+size_t
+SweepSpec::jobCount() const
+{
+    auto dim = [](size_t n) { return n == 0 ? size_t(1) : n; };
+    size_t variants = mode == JobMode::Profile ? predictors.size()
+                                               : schemes.size();
+    return dim(workloads.empty() ? workload::specWorkloadNames().size()
+                                 : workloads.size()) *
+           dim(variants) * dim(orders.size()) * dim(tables.size()) *
+           dim(seeds.size()) * dim(instructionWindows.size());
+}
+
+std::vector<JobSpec>
+SweepSpec::expand() const
+{
+    auto wl = axisOr(workloads, workload::specWorkloadNames());
+    auto variants = mode == JobMode::Profile
+                        ? axisOr(predictors, {"stride"})
+                        : axisOr(schemes, {"baseline"});
+    auto ord = axisOr(orders, {8u});
+    auto tab = axisOr(tables, {uint64_t(8192)});
+    auto sd = axisOr(seeds, {uint64_t(1)});
+    auto windows = axisOr(instructionWindows, {defaultInstructions});
+
+    std::vector<JobSpec> jobs;
+    jobs.reserve(wl.size() * variants.size() * ord.size() *
+                 tab.size() * sd.size() * windows.size());
+    for (const auto &w : wl)
+        for (const auto &v : variants)
+            for (unsigned o : ord)
+                for (uint64_t t : tab)
+                    for (uint64_t s : sd)
+                        for (uint64_t insts : windows) {
+                            JobSpec j;
+                            j.workload = w;
+                            j.mode = mode;
+                            if (mode == JobMode::Profile)
+                                j.predictor = v;
+                            else
+                                j.scheme = v;
+                            j.order = o;
+                            j.tableEntries = t;
+                            j.seed = s;
+                            j.instructions = insts;
+                            j.warmup = warmup;
+                            jobs.push_back(std::move(j));
+                        }
+    return jobs;
+}
+
+SweepSpec
+SweepSpec::parseGrid(const std::string &grid)
+{
+    SweepSpec spec;
+    bool mode_set = false;
+    bool scheme_seen = false;
+    for (const auto &clause : split(grid, ';')) {
+        auto eq = clause.find('=');
+        if (eq == std::string::npos || eq == 0)
+            fatal("--grid: expected key=v1,v2,... in '%s'",
+                  clause.c_str());
+        std::string axis = clause.substr(0, eq);
+        std::vector<std::string> values =
+            split(clause.substr(eq + 1), ',');
+        if (values.empty())
+            fatal("--grid: axis '%s' has no values", axis.c_str());
+
+        auto numeric = [&](bool allow_zero) {
+            std::vector<uint64_t> out;
+            std::string flag = "--grid " + axis;
+            for (const auto &v : values)
+                out.push_back(parseU64Flag(flag.c_str(), v.c_str(),
+                                           allow_zero));
+            return out;
+        };
+
+        if (axis == "workload") {
+            spec.workloads = values;
+        } else if (axis == "predictor") {
+            spec.predictors = values;
+        } else if (axis == "scheme") {
+            spec.schemes = values;
+            scheme_seen = true;
+        } else if (axis == "order") {
+            spec.orders.clear();
+            for (uint64_t v : numeric(false))
+                spec.orders.push_back(static_cast<unsigned>(v));
+        } else if (axis == "table") {
+            spec.tables = numeric(true); // 0 = unlimited
+        } else if (axis == "seed") {
+            spec.seeds = numeric(true);
+        } else if (axis == "instructions") {
+            spec.instructionWindows = numeric(false);
+        } else if (axis == "mode") {
+            if (values.size() != 1)
+                fatal("--grid: mode takes exactly one value");
+            spec.mode = parseJobMode(values[0]);
+            mode_set = true;
+        } else {
+            fatal("--grid: unknown axis '%s' (expected workload, "
+                  "predictor, scheme, order, table, seed, "
+                  "instructions, or mode)",
+                  axis.c_str());
+        }
+    }
+    if (!mode_set && scheme_seen)
+        spec.mode = JobMode::Pipeline;
+    if (spec.mode == JobMode::Profile && !spec.schemes.empty())
+        fatal("--grid: scheme axis requires mode=pipeline");
+    if (spec.mode == JobMode::Pipeline && !spec.predictors.empty())
+        fatal("--grid: predictor axis requires mode=profile");
+    return spec;
+}
+
+} // namespace runner
+} // namespace gdiff

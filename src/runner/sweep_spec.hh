@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Declarative experiment grids.
+ *
+ * A SweepSpec holds one value list per experiment axis — workloads,
+ * predictors (profile mode) or schemes (pipeline mode), gdiff orders,
+ * table sizes, seeds, instruction windows — and expands the cartesian
+ * product into a deterministic, stably ordered vector of JobSpecs.
+ * The expansion order is part of the contract: job index i always
+ * names the same grid cell, across runs and thread counts, which is
+ * what lets sinks and resume manifests key off it.
+ *
+ * Grids can also be parsed from the compact CLI syntax used by
+ * gdiffrun:
+ *
+ *   workload=mcf,parser,gzip;predictor=stride,dfcm,gdiff;order=4,8
+ */
+
+#ifndef GDIFF_RUNNER_SWEEP_SPEC_HH
+#define GDIFF_RUNNER_SWEEP_SPEC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runner/job.hh"
+
+namespace gdiff {
+namespace runner {
+
+/** A cartesian experiment grid; empty axes fall back to defaults. */
+struct SweepSpec
+{
+    JobMode mode = JobMode::Profile;
+    /// kernel names; empty = the ten paper workloads
+    std::vector<std::string> workloads;
+    /// profile-mode predictors; empty = {"stride"}
+    std::vector<std::string> predictors;
+    /// pipeline-mode schemes; empty = {"baseline"}
+    std::vector<std::string> schemes;
+    /// gdiff orders / GVQ windows; empty = {8}
+    std::vector<unsigned> orders;
+    /// table sizes (0 = unlimited); empty = {8192}
+    std::vector<uint64_t> tables;
+    /// workload synthesis seeds; empty = {1}
+    std::vector<uint64_t> seeds;
+    /// measured-instruction budgets; empty = {defaultInstructions}
+    std::vector<uint64_t> instructionWindows;
+
+    uint64_t defaultInstructions = 1'000'000;
+    uint64_t warmup = 100'000;
+
+    /** @return number of jobs expand() will produce. */
+    size_t jobCount() const;
+
+    /**
+     * Expand the grid into jobs, ordered with workload as the
+     * outermost axis, then predictor/scheme, order, table, seed,
+     * instruction window innermost.
+     */
+    std::vector<JobSpec> expand() const;
+
+    /**
+     * Parse the `key=v1,v2,...;key=...` grid syntax.
+     *
+     * Keys: workload, predictor, scheme, order, table, seed,
+     * instructions, mode (single-valued). `scheme=` implies pipeline
+     * mode unless `mode=` says otherwise. Calls fatal() on unknown
+     * keys, malformed numbers, or empty value lists.
+     */
+    static SweepSpec parseGrid(const std::string &grid);
+};
+
+} // namespace runner
+} // namespace gdiff
+
+#endif // GDIFF_RUNNER_SWEEP_SPEC_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Strict numeric parsing for command-line flags.
+ *
+ * Every driver (bench harnesses, gdiffsim, gdiffrun) funnels numeric
+ * flag values through parseU64Flag() so malformed input fails loudly
+ * instead of being silently truncated — `--instructions=2m` used to
+ * parse as 2 via bare strtoull; now it is a fatal() with the flag
+ * name in the message.
+ */
+
+#ifndef GDIFF_UTIL_PARSE_HH
+#define GDIFF_UTIL_PARSE_HH
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace gdiff {
+
+/**
+ * Parse a non-negative decimal integer flag value strictly.
+ *
+ * Rejects (via fatal()) empty strings, leading signs, trailing
+ * garbage, and values that overflow uint64_t. Zero is rejected by
+ * default because for most flags (--instructions, --order, --table,
+ * --threads) it indicates a typo rather than an intent.
+ *
+ * @param flag       flag name for the error message (e.g.
+ *                   "--instructions").
+ * @param text       the value text after the '='.
+ * @param allow_zero accept 0 as a valid value (e.g. --warmup=0).
+ * @return the parsed value.
+ */
+inline uint64_t
+parseU64Flag(const char *flag, const char *text, bool allow_zero = false)
+{
+    if (text == nullptr || *text == '\0')
+        fatal("%s: empty numeric value", flag);
+    // strtoull accepts "+", "-" (wrapping!) and leading whitespace;
+    // a flag value must start with a digit outright.
+    if (*text < '0' || *text > '9')
+        fatal("%s: invalid number '%s'", flag, text);
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(text, &end, 10);
+    if (errno == ERANGE)
+        fatal("%s: value '%s' out of range", flag, text);
+    if (end == text || *end != '\0')
+        fatal("%s: invalid number '%s'", flag, text);
+    if (v == 0 && !allow_zero)
+        fatal("%s: value must be non-zero", flag);
+    return static_cast<uint64_t>(v);
+}
+
+} // namespace gdiff
+
+#endif // GDIFF_UTIL_PARSE_HH

@@ -139,6 +139,43 @@ TEST(TraceIoDeath, MissingFileIsFatal)
                 ::testing::ExitedWithCode(1), "cannot open");
 }
 
+TEST(TraceIoDeath, WrongVersionIsFatal)
+{
+    std::string path = tempPath("badversion");
+    {
+        // A structurally valid header whose version field is from
+        // the future: magic "GDTR", version 999, zero records.
+        std::FILE *f = std::fopen(path.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        const uint32_t magic = 0x52544447; // "GDTR"
+        const uint32_t version = 999;
+        const uint64_t count = 0;
+        std::fwrite(&magic, sizeof(magic), 1, f);
+        std::fwrite(&version, sizeof(version), 1, f);
+        std::fwrite(&count, sizeof(count), 1, f);
+        std::fclose(f);
+    }
+    EXPECT_EXIT(TraceFileSource src(path),
+                ::testing::ExitedWithCode(1), "version 999");
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoDeath, TruncatedHeaderIsFatal)
+{
+    std::string path = tempPath("shortheader");
+    {
+        // Only half a header: valid magic, then EOF.
+        std::FILE *f = std::fopen(path.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        const uint32_t magic = 0x52544447;
+        std::fwrite(&magic, sizeof(magic), 1, f);
+        std::fclose(f);
+    }
+    EXPECT_EXIT(TraceFileSource src(path),
+                ::testing::ExitedWithCode(1), "truncated");
+    std::remove(path.c_str());
+}
+
 TEST(TraceIoDeath, BadMagicIsFatal)
 {
     std::string path = tempPath("badmagic");
