@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "runner/factory.hh"
 #include "runner/runner.hh"
 #include "util/logging.hh"
 #include "util/parse.hh"
@@ -44,6 +45,9 @@ struct Options
     uint64_t warmup = 100'000;
     bool instructionsSet = false;
     bool noTable = false;
+    bool useTraceCache = true;
+    size_t traceCacheBytes = 0; // 0 = keep the cache's default cap
+    bool list = false;
 };
 
 [[noreturn]] void
@@ -68,12 +72,33 @@ usage(const char *argv0)
         "  --warmup=N       warmup instructions per job "
         "(default 100000)\n"
         "  --no-table       suppress the human-readable table\n"
+        "  --no-trace-cache regenerate every job's trace instead of\n"
+        "                   replaying the shared cached copy\n"
+        "  --trace-cache-mb=N  cap the shared trace cache at N MiB\n"
+        "  --list           print registered workloads, predictors\n"
+        "                   and schemes, then exit\n"
         "workloads:",
         argv0);
     for (const auto &n : workload::specWorkloadNames())
         std::fprintf(stderr, " %s", n.c_str());
     std::fprintf(stderr, "\n");
     std::exit(2);
+}
+
+/** --list: the registered grid vocabulary, one axis per line. */
+void
+printRegistry()
+{
+    std::printf("workloads:");
+    for (const auto &n : workload::specWorkloadNames())
+        std::printf(" %s", n.c_str());
+    std::printf("\npredictors:");
+    for (const auto &n : runner::predictorNames())
+        std::printf(" %s", n.c_str());
+    std::printf("\nschemes:");
+    for (const auto &n : runner::schemeNames())
+        std::printf(" %s", n.c_str());
+    std::printf("\nmodes: profile pipeline\n");
 }
 
 Options
@@ -109,13 +134,22 @@ parse(int argc, char **argv)
             o.instructionsSet = true;
         } else if (take("--warmup", v)) {
             o.warmup = parseU64Flag("--warmup", v.c_str(), true);
+        } else if (take("--trace-cache-mb", v)) {
+            o.traceCacheBytes =
+                static_cast<size_t>(
+                    parseU64Flag("--trace-cache-mb", v.c_str(), true)) *
+                (size_t(1) << 20);
         } else if (a == "--no-table") {
             o.noTable = true;
+        } else if (a == "--no-trace-cache") {
+            o.useTraceCache = false;
+        } else if (a == "--list") {
+            o.list = true;
         } else {
             usage(argv[0]);
         }
     }
-    if (o.grid.empty())
+    if (!o.list && o.grid.empty())
         usage(argv[0]);
     return o;
 }
@@ -126,6 +160,10 @@ int
 main(int argc, char **argv)
 {
     Options o = parse(argc, argv);
+    if (o.list) {
+        printRegistry();
+        return 0;
+    }
 
     runner::SweepSpec spec = runner::SweepSpec::parseGrid(o.grid);
     spec.defaultInstructions = o.instructions;
@@ -153,6 +191,8 @@ main(int argc, char **argv)
     runner::SweepOptions ropt;
     ropt.threads = o.threads;
     ropt.manifestPath = o.manifest;
+    ropt.useTraceCache = o.useTraceCache;
+    ropt.traceCacheBytes = o.traceCacheBytes;
 
     std::fprintf(stderr, "gdiffrun: %zu jobs, %u threads\n",
                  sweep.jobs().size(),
@@ -163,5 +203,11 @@ main(int argc, char **argv)
                  "gdiffrun: ran %zu jobs (%zu resumed/skipped) in "
                  "%.2fs\n",
                  s.ranJobs, s.skippedJobs, s.wallSeconds);
+    if (o.useTraceCache && s.ranJobs > 0)
+        std::fprintf(stderr,
+                     "gdiffrun: trace cache: %zu generated (%.2fs), "
+                     "%zu replayed\n",
+                     s.generatedTraces, s.generateSeconds,
+                     s.replayedJobs);
     return 0;
 }

@@ -149,12 +149,19 @@ runRecord(const Options &o)
 {
     auto src = makeSource(o);
     workload::TraceWriter writer(o.record);
-    workload::TraceRecord r;
-    while (writer.written() < o.instructions && src->next(r))
-        writer.append(r);
+    // Record chunk-at-a-time: each full chunk lands as one on-disk
+    // block, the final partial chunk is trimmed to the budget.
+    auto chunk = std::make_unique<workload::TraceChunk>();
+    while (writer.written() < o.instructions && src->fill(*chunk)) {
+        uint64_t remaining = o.instructions - writer.written();
+        if (chunk->size > remaining)
+            chunk->size = static_cast<uint32_t>(remaining);
+        writer.append(*chunk);
+    }
+    uint64_t written = writer.written();
     writer.close();
     std::printf("wrote %llu records to %s\n",
-                static_cast<unsigned long long>(o.instructions),
+                static_cast<unsigned long long>(written),
                 o.record.c_str());
     return 0;
 }

@@ -12,6 +12,10 @@ for b in build/bench/*; do
         *) "$b" --instructions=200000 --warmup=40000 ;;
     esac
 done
+# Cached replay must beat single-record regeneration by >= 3x, or the
+# trace cache has lost its reason to exist.
+./build/bench/trace_replay_throughput \
+    --instructions=500000 --warmup=0 --require-speedup=3
 # Smoke sweep through the parallel runner: thread pool, structured
 # sinks, and manifest resume (the rerun must skip every job).
 rm -f build/smoke.jsonl build/smoke.csv build/smoke.manifest

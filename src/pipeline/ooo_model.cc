@@ -1,6 +1,7 @@
 #include "pipeline/ooo_model.hh"
 
 #include <algorithm>
+#include <memory>
 
 #include "util/logging.hh"
 
@@ -61,6 +62,10 @@ PipelineStats
 OooPipeline::run(workload::TraceSource &src, uint64_t max_instructions,
                  uint64_t warmup)
 {
+    if (max_instructions == 0) {
+        fatal("pipeline run length is 0 instructions: nothing would "
+              "be measured");
+    }
     PipelineStats stats;
 
     // Per-register availability, for real results and for the
@@ -85,8 +90,15 @@ OooPipeline::run(workload::TraceSource &src, uint64_t max_instructions,
     uint64_t last_cycle = 0;
     uint64_t budget = warmup + max_instructions;
 
-    workload::TraceRecord r;
-    while (seq < budget && src.next(r)) {
+    auto scratch = std::make_unique<workload::TraceChunk>();
+    while (seq < budget) {
+      const workload::TraceChunk *chunk = src.fillRef(*scratch);
+      if (!chunk)
+          break;
+      uint32_t chunk_n = static_cast<uint32_t>(
+          std::min<uint64_t>(chunk->size, budget - seq));
+      for (uint32_t ci = 0; ci < chunk_n; ++ci) {
+        const workload::TraceRecord r = chunk->record(ci);
         bool measure = seq >= warmup;
 
         // ---- front end ------------------------------------------------
@@ -241,6 +253,7 @@ OooPipeline::run(workload::TraceSource &src, uint64_t max_instructions,
         }
         last_cycle = std::max(last_cycle, retire_cycle);
         ++seq;
+      }
     }
 
     drainWritebacksBefore(~uint64_t(0), stats);

@@ -24,6 +24,23 @@ parseJobMode(const std::string &name)
           name.c_str());
 }
 
+void
+JobSpec::validate() const
+{
+    if (instructions == 0) {
+        fatal("job %s: instructions must be > 0 (nothing would be "
+              "measured)",
+              label().c_str());
+    }
+    if (warmup >= instructions) {
+        fatal("job %s: warmup (%llu) must be smaller than "
+              "instructions (%llu)",
+              label().c_str(),
+              static_cast<unsigned long long>(warmup),
+              static_cast<unsigned long long>(instructions));
+    }
+}
+
 std::string
 JobSpec::key() const
 {

@@ -54,6 +54,13 @@ struct JobSpec
     uint64_t warmup = 100'000;         ///< warmup instructions
 
     /**
+     * Reject run lengths that would measure nothing: instructions ==
+     * 0 or warmup >= instructions. Calls fatal() naming the job.
+     * runJob() validates every spec before executing it.
+     */
+    void validate() const;
+
+    /**
      * @return the canonical identity string, e.g.
      * "mode=profile workload=mcf predictor=gdiff order=8 table=8192
      *  seed=1 instructions=1000000 warmup=100000".
@@ -80,6 +87,16 @@ struct JobResult
     std::vector<std::pair<std::string, double>> metrics;
     double wallSeconds = 0.0;
     double instructionsPerSec = 0.0;
+
+    /// @name Trace-cache metadata (timing class, not deterministic)
+    /// @{
+    /// true when the job replayed a cached trace; false when it ran
+    /// (and possibly cached) functional generation itself
+    bool traceReplayed = false;
+    /// wall seconds this job spent materializing the trace (0 when
+    /// replaying or when the cache is off)
+    double traceGenerateSeconds = 0.0;
+    /// @}
 
     /** @return the named metric, or @p fallback if absent. */
     double metric(const std::string &name, double fallback = 0.0) const;

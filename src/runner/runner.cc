@@ -62,11 +62,8 @@ ThreadPool::forEach(size_t count,
 namespace {
 
 JobResult
-runProfileJob(const JobSpec &spec)
+runProfileJob(const JobSpec &spec, workload::TraceSource &src)
 {
-    workload::Workload w =
-        workload::makeWorkload(spec.workload, spec.seed);
-    auto exec = w.makeExecutor();
     auto pred =
         makePredictor(spec.predictor, spec.order, spec.tableEntries);
 
@@ -75,7 +72,7 @@ runProfileJob(const JobSpec &spec)
     pcfg.warmupInstructions = spec.warmup;
     sim::ValueProfileRunner profile(pcfg);
     profile.addPredictor(*pred);
-    profile.run(*exec);
+    profile.run(src);
 
     const sim::ProfileSeries &s = profile.results().front();
     JobResult r;
@@ -88,18 +85,15 @@ runProfileJob(const JobSpec &spec)
 }
 
 JobResult
-runPipelineJob(const JobSpec &spec)
+runPipelineJob(const JobSpec &spec, workload::TraceSource &src)
 {
-    workload::Workload w =
-        workload::makeWorkload(spec.workload, spec.seed);
-    auto exec = w.makeExecutor();
     auto scheme =
         makeScheme(spec.scheme, spec.order, spec.tableEntries);
 
     pipeline::OooPipeline pipe(pipeline::PipelineConfig::paper(),
                                *scheme);
     pipeline::PipelineStats s =
-        pipe.run(*exec, spec.instructions, spec.warmup);
+        pipe.run(src, spec.instructions, spec.warmup);
 
     JobResult r;
     r.metrics = {
@@ -119,15 +113,37 @@ runPipelineJob(const JobSpec &spec)
 } // anonymous namespace
 
 JobResult
-runJob(const JobSpec &spec)
+runJob(const JobSpec &spec, workload::TraceCache *cache)
 {
+    spec.validate();
     auto t0 = std::chrono::steady_clock::now();
+
+    // Resolve the dynamic stream: replay a shared materialized trace
+    // when a cache is supplied, regenerate otherwise. Both streams
+    // are record-identical, so the metrics cannot differ.
+    std::unique_ptr<workload::TraceSource> src;
+    bool replayed = false;
+    double generateSeconds = 0.0;
+    if (cache) {
+        workload::TraceCache::Acquired acq = cache->acquire(
+            spec.workload, spec.seed, spec.warmup + spec.instructions);
+        src = std::move(acq.source);
+        replayed = !acq.generated;
+        generateSeconds = acq.generateSeconds;
+    } else {
+        workload::Workload w =
+            workload::makeWorkload(spec.workload, spec.seed);
+        src = w.makeExecutor();
+    }
+
     JobResult r = spec.mode == JobMode::Profile
-                      ? runProfileJob(spec)
-                      : runPipelineJob(spec);
+                      ? runProfileJob(spec, *src)
+                      : runPipelineJob(spec, *src);
     std::chrono::duration<double> dt =
         std::chrono::steady_clock::now() - t0;
     r.wallSeconds = dt.count();
+    r.traceReplayed = replayed;
+    r.traceGenerateSeconds = generateSeconds;
     uint64_t total = spec.instructions + spec.warmup;
     r.instructionsPerSec =
         r.wallSeconds > 0 ? static_cast<double>(total) / r.wallSeconds
@@ -172,19 +188,35 @@ SweepRunner::run(const SweepOptions &options)
             todo.push_back(i);
     }
 
+    workload::TraceCache *cache = nullptr;
+    if (options.useTraceCache) {
+        cache = &workload::TraceCache::global();
+        if (options.traceCacheBytes != 0)
+            cache->setMaxBytes(options.traceCacheBytes);
+    }
+
     std::mutex sinkLock;
     ThreadPool pool(options.threads);
     pool.forEach(todo.size(), [&](size_t t) {
         size_t index = todo[t];
-        // Job execution is lock-free and fully isolated; only result
-        // delivery serialises.
-        JobRecord rec{index, jobList[index], runJob(jobList[index])};
+        // Job execution is lock-free and fully isolated (the trace
+        // cache shares immutable buffers only); only result delivery
+        // serialises.
+        JobRecord rec{index, jobList[index],
+                      runJob(jobList[index], cache)};
         std::lock_guard<std::mutex> guard(sinkLock);
         for (ResultSink *sink : sinks)
             sink->onJob(rec);
         if (manifest)
             manifest->markDone(rec.spec.key());
         ++summary.ranJobs;
+        if (rec.result.traceReplayed) {
+            ++summary.replayedJobs;
+        } else if (cache) {
+            ++summary.generatedTraces;
+            summary.generateSeconds +=
+                rec.result.traceGenerateSeconds;
+        }
     });
 
     for (ResultSink *sink : sinks)

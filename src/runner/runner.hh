@@ -32,6 +32,7 @@
 #include "runner/manifest.hh"
 #include "runner/sinks.hh"
 #include "runner/sweep_spec.hh"
+#include "workload/trace_cache.hh"
 
 namespace gdiff {
 namespace runner {
@@ -65,14 +66,28 @@ class ThreadPool
     unsigned nThreads;
 };
 
-/** Execute one job in an isolated simulation context. */
-JobResult runJob(const JobSpec &spec);
+/**
+ * Execute one job in an isolated simulation context.
+ *
+ * With @p cache, the job's dynamic stream is resolved through the
+ * shared trace cache: the first job per (workload, seed, budget)
+ * triple materializes the trace, later jobs replay it read-only.
+ * Metrics are bit-identical either way; only the wall-time metadata
+ * differs. Without a cache the job regenerates its stream.
+ */
+JobResult runJob(const JobSpec &spec,
+                 workload::TraceCache *cache = nullptr);
 
 /** Knobs for SweepRunner::run. */
 struct SweepOptions
 {
     unsigned threads = 0;      ///< worker count; 0 = hardware
     std::string manifestPath;  ///< resume manifest; empty = disabled
+    /// resolve job streams through the shared trace cache
+    bool useTraceCache = true;
+    /// trace-cache byte cap applied before the sweep; 0 keeps the
+    /// cache's current cap
+    size_t traceCacheBytes = 0;
 };
 
 /** What a sweep did, for the caller's summary line. */
@@ -82,6 +97,12 @@ struct SweepSummary
     size_t ranJobs = 0;     ///< jobs executed this run
     size_t skippedJobs = 0; ///< jobs skipped via the resume manifest
     double wallSeconds = 0; ///< whole-sweep wall time
+    /// @name trace-cache effect on this sweep
+    /// @{
+    size_t generatedTraces = 0;  ///< jobs that materialized a trace
+    size_t replayedJobs = 0;     ///< jobs served from the cache
+    double generateSeconds = 0;  ///< total trace-generation wall time
+    /// @}
 };
 
 /** Expands a grid and runs it through the pool into the sinks. */

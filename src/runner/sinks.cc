@@ -131,7 +131,8 @@ CsvSink::finish()
             (void)value;
             std::fprintf(file, ",%s", name.c_str());
         }
-    std::fprintf(file, ",wall_seconds,instructions_per_sec\n");
+    std::fprintf(file, ",wall_seconds,instructions_per_sec,"
+                       "trace_source,trace_generate_seconds\n");
     for (const auto &r : recs) {
         const JobSpec &s = r.spec;
         std::fprintf(file,
@@ -149,8 +150,11 @@ CsvSink::finish()
             std::fprintf(file, ",%s",
                          jsonDouble(r.result.metric(name)).c_str());
         }
-        std::fprintf(file, ",%.3f,%.0f\n", r.result.wallSeconds,
-                     r.result.instructionsPerSec);
+        std::fprintf(file, ",%.3f,%.0f,%s,%.3f\n",
+                     r.result.wallSeconds,
+                     r.result.instructionsPerSec,
+                     r.result.traceReplayed ? "replay" : "generate",
+                     r.result.traceGenerateSeconds);
     }
     std::fclose(file);
     file = nullptr;
@@ -206,13 +210,19 @@ JsonlSink::onJob(const JobRecord &record)
 {
     GDIFF_ASSERT(file != nullptr, "JsonlSink used after finish");
     std::string det = deterministicJson(record);
-    // Timing metadata rides outside the deterministic payload: the
-    // closing brace is reopened so the line stays one JSON object.
+    // Timing metadata (including whether the trace cache served this
+    // job) rides outside the deterministic payload: the closing brace
+    // is reopened so the line stays one JSON object.
     det.pop_back();
-    std::fprintf(file, "%s,\"wall_seconds\":%.6f,"
-                       "\"instructions_per_sec\":%.0f}\n",
+    std::fprintf(file,
+                 "%s,\"wall_seconds\":%.6f,"
+                 "\"instructions_per_sec\":%.0f,"
+                 "\"trace_source\":\"%s\","
+                 "\"trace_generate_seconds\":%.6f}\n",
                  det.c_str(), record.result.wallSeconds,
-                 record.result.instructionsPerSec);
+                 record.result.instructionsPerSec,
+                 record.result.traceReplayed ? "replay" : "generate",
+                 record.result.traceGenerateSeconds);
     std::fflush(file);
 }
 

@@ -1,15 +1,34 @@
 #include "sim/profile.hh"
 
+#include <algorithm>
+#include <memory>
+
 #include "util/logging.hh"
 
 namespace gdiff {
 namespace sim {
+
+void
+ProfileConfig::validate() const
+{
+    if (maxInstructions == 0) {
+        fatal("profile run length is 0 instructions: nothing would "
+              "be measured");
+    }
+    if (warmupInstructions >= maxInstructions) {
+        fatal("profile warmup (%llu) must be smaller than the "
+              "measured instruction budget (%llu)",
+              static_cast<unsigned long long>(warmupInstructions),
+              static_cast<unsigned long long>(maxInstructions));
+    }
+}
 
 // ------------------------------------------------- ValueProfileRunner
 
 ValueProfileRunner::ValueProfileRunner(const ProfileConfig &config)
     : cfg(config)
 {
+    cfg.validate();
 }
 
 void
@@ -28,26 +47,35 @@ ValueProfileRunner::run(workload::TraceSource &src)
     GDIFF_ASSERT(!preds.empty(), "no predictors registered");
     uint64_t executed = 0;
     uint64_t budget = cfg.warmupInstructions + cfg.maxInstructions;
-    workload::TraceRecord r;
-    while (executed < budget && src.next(r)) {
-        ++executed;
-        if (!r.producesValue())
-            continue;
-        bool measured = executed > cfg.warmupInstructions;
-        for (size_t i = 0; i < preds.size(); ++i) {
-            int64_t guess = 0;
-            bool predicted = preds[i]->predict(r.pc, guess);
-            bool correct = predicted && guess == r.value;
-            bool confident = predicted && conf[i].confident(r.pc);
-            if (measured) {
-                series[i].accuracyAll.record(correct);
-                series[i].coverage.record(confident);
-                if (confident)
-                    series[i].accuracyGated.record(correct);
+    auto scratch = std::make_unique<workload::TraceChunk>();
+    while (executed < budget) {
+        const workload::TraceChunk *chunk = src.fillRef(*scratch);
+        if (!chunk)
+            break;
+        uint32_t n = static_cast<uint32_t>(
+            std::min<uint64_t>(chunk->size, budget - executed));
+        for (uint32_t j = 0; j < n; ++j) {
+            ++executed;
+            if (!chunk->producesValue(j))
+                continue;
+            uint64_t pc = chunk->pc[j];
+            int64_t value = chunk->value[j];
+            bool measured = executed > cfg.warmupInstructions;
+            for (size_t i = 0; i < preds.size(); ++i) {
+                int64_t guess = 0;
+                bool predicted = preds[i]->predict(pc, guess);
+                bool correct = predicted && guess == value;
+                bool confident = predicted && conf[i].confident(pc);
+                if (measured) {
+                    series[i].accuracyAll.record(correct);
+                    series[i].coverage.record(confident);
+                    if (confident)
+                        series[i].accuracyGated.record(correct);
+                }
+                if (predicted)
+                    conf[i].train(pc, correct);
+                preds[i]->update(pc, value);
             }
-            if (predicted)
-                conf[i].train(r.pc, correct);
-            preds[i]->update(r.pc, r.value);
         }
     }
 }
@@ -57,6 +85,7 @@ ValueProfileRunner::run(workload::TraceSource &src)
 AddressProfileRunner::AddressProfileRunner(const ProfileConfig &config)
     : cfg(config), dcache(mem::CacheConfig::paperDCache())
 {
+    cfg.validate();
 }
 
 void
@@ -88,62 +117,72 @@ AddressProfileRunner::run(workload::TraceSource &src)
                  "no predictors registered");
     uint64_t executed = 0;
     uint64_t budget = cfg.warmupInstructions + cfg.maxInstructions;
-    workload::TraceRecord r;
-    while (executed < budget && src.next(r)) {
-        ++executed;
-        // Stores keep the D-cache model honest but are not predicted.
-        if (r.isStore()) {
-            dcache.access(r.effAddr);
-            continue;
-        }
-        if (!r.isLoad())
-            continue;
-        bool measured = executed > cfg.warmupInstructions;
-        bool miss = !dcache.access(r.effAddr);
-        int64_t actual = static_cast<int64_t>(r.effAddr);
-
-        for (size_t i = 0; i < preds.size(); ++i) {
-            int64_t guess = 0;
-            bool predicted = preds[i]->predict(r.pc, guess);
-            bool correct = predicted && guess == actual;
-            bool confident = predicted && conf[i].confident(r.pc);
-            if (measured) {
-                series[i].coverageAll.record(confident);
-                if (confident)
-                    series[i].accuracyAll.record(correct);
-                if (miss) {
-                    series[i].coverageMiss.record(confident);
-                    if (confident)
-                        series[i].accuracyMiss.record(correct);
-                }
+    auto scratch = std::make_unique<workload::TraceChunk>();
+    while (executed < budget) {
+        const workload::TraceChunk *chunk = src.fillRef(*scratch);
+        if (!chunk)
+            break;
+        uint32_t n = static_cast<uint32_t>(
+            std::min<uint64_t>(chunk->size, budget - executed));
+        for (uint32_t j = 0; j < n; ++j) {
+            ++executed;
+            uint64_t effAddr = chunk->effAddr[j];
+            // Stores keep the D-cache model honest but are not
+            // predicted.
+            if (chunk->isStore(j)) {
+                dcache.access(effAddr);
+                continue;
             }
-            if (predicted)
-                conf[i].train(r.pc, correct);
-            preds[i]->update(r.pc, actual);
-        }
+            if (!chunk->isLoad(j))
+                continue;
+            uint64_t pc = chunk->pc[j];
+            bool measured = executed > cfg.warmupInstructions;
+            bool miss = !dcache.access(effAddr);
+            int64_t actual = static_cast<int64_t>(effAddr);
 
-        if (markovAll) {
-            AddressSeries &ms = series.back();
-            uint64_t guess = 0;
-            bool hit = markovAll->predict(guess);
-            bool correct = hit && guess == r.effAddr;
-            if (measured) {
-                ms.coverageAll.record(hit);
-                if (hit)
-                    ms.accuracyAll.record(correct);
-            }
-            markovAll->update(r.effAddr);
-
-            if (miss) {
-                uint64_t mguess = 0;
-                bool mhit = markovMiss->predict(mguess);
-                bool mcorrect = mhit && mguess == r.effAddr;
+            for (size_t i = 0; i < preds.size(); ++i) {
+                int64_t guess = 0;
+                bool predicted = preds[i]->predict(pc, guess);
+                bool correct = predicted && guess == actual;
+                bool confident = predicted && conf[i].confident(pc);
                 if (measured) {
-                    ms.coverageMiss.record(mhit);
-                    if (mhit)
-                        ms.accuracyMiss.record(mcorrect);
+                    series[i].coverageAll.record(confident);
+                    if (confident)
+                        series[i].accuracyAll.record(correct);
+                    if (miss) {
+                        series[i].coverageMiss.record(confident);
+                        if (confident)
+                            series[i].accuracyMiss.record(correct);
+                    }
                 }
-                markovMiss->update(r.effAddr);
+                if (predicted)
+                    conf[i].train(pc, correct);
+                preds[i]->update(pc, actual);
+            }
+
+            if (markovAll) {
+                AddressSeries &ms = series.back();
+                uint64_t guess = 0;
+                bool hit = markovAll->predict(guess);
+                bool correct = hit && guess == effAddr;
+                if (measured) {
+                    ms.coverageAll.record(hit);
+                    if (hit)
+                        ms.accuracyAll.record(correct);
+                }
+                markovAll->update(effAddr);
+
+                if (miss) {
+                    uint64_t mguess = 0;
+                    bool mhit = markovMiss->predict(mguess);
+                    bool mcorrect = mhit && mguess == effAddr;
+                    if (measured) {
+                        ms.coverageMiss.record(mhit);
+                        if (mhit)
+                            ms.accuracyMiss.record(mcorrect);
+                    }
+                    markovMiss->update(effAddr);
+                }
             }
         }
     }

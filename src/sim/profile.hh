@@ -35,6 +35,14 @@ struct ProfileConfig
     uint64_t warmupInstructions = 200'000;
     /// confidence policy for gated statistics
     predictors::ConfidenceConfig confidence;
+
+    /**
+     * Reject run lengths that would silently measure nothing:
+     * maxInstructions == 0, or warmup >= maxInstructions. Calls
+     * fatal() with the offending values. The profile runners validate
+     * on construction.
+     */
+    void validate() const;
 };
 
 /** Per-predictor outcome of a profile run. */

@@ -202,5 +202,15 @@ Executor::next(TraceRecord &out)
     return true;
 }
 
+bool
+Executor::fill(TraceChunk &chunk)
+{
+    chunk.clear();
+    TraceRecord r;
+    while (!chunk.full() && next(r))
+        chunk.push(r);
+    return !chunk.empty();
+}
+
 } // namespace workload
 } // namespace gdiff

@@ -40,6 +40,14 @@ class Executor : public TraceSource
      */
     bool next(TraceRecord &out) override;
 
+    /**
+     * Execute up to TraceChunk::capacity instructions and emit them
+     * as one structure-of-arrays batch. Equivalent to pumping next():
+     * the chunked and per-record streams are record-identical (pinned
+     * by tests/test_trace_cache.cc).
+     */
+    bool fill(TraceChunk &chunk) override;
+
     /** @return true once Halt has executed. */
     bool halted() const { return isHalted; }
 

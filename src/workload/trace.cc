@@ -1,0 +1,117 @@
+#include "workload/trace.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace gdiff {
+namespace workload {
+
+// ------------------------------------------------------- TraceChunk
+
+uint8_t
+TraceChunk::deriveFlags(const TraceRecord &r)
+{
+    uint8_t f = 0;
+    if (r.taken)
+        f |= flagTaken;
+    if (r.producesValue())
+        f |= flagProducesValue;
+    if (r.isLoad())
+        f |= flagLoad;
+    if (r.isStore())
+        f |= flagStore;
+    if (r.isCondBranch())
+        f |= flagCondBranch;
+    if (r.isControl())
+        f |= flagControl;
+    return f;
+}
+
+void
+TraceChunk::push(const TraceRecord &r)
+{
+    GDIFF_ASSERT(size < capacity, "push into a full TraceChunk");
+    uint32_t i = size++;
+    inst[i] = r.inst;
+    seq[i] = r.seq;
+    pc[i] = r.pc;
+    nextPc[i] = r.nextPc;
+    value[i] = r.value;
+    effAddr[i] = r.effAddr;
+    flags[i] = deriveFlags(r);
+}
+
+TraceRecord
+TraceChunk::record(uint32_t i) const
+{
+    GDIFF_ASSERT(i < size, "TraceChunk record index out of range");
+    TraceRecord r;
+    r.inst = inst[i];
+    r.seq = seq[i];
+    r.pc = pc[i];
+    r.nextPc = nextPc[i];
+    r.value = value[i];
+    r.effAddr = effAddr[i];
+    r.taken = (flags[i] & flagTaken) != 0;
+    return r;
+}
+
+void
+TraceChunk::assign(const TraceChunk &other)
+{
+    size = other.size;
+    std::copy_n(other.inst.begin(), size, inst.begin());
+    std::copy_n(other.seq.begin(), size, seq.begin());
+    std::copy_n(other.pc.begin(), size, pc.begin());
+    std::copy_n(other.nextPc.begin(), size, nextPc.begin());
+    std::copy_n(other.value.begin(), size, value.begin());
+    std::copy_n(other.effAddr.begin(), size, effAddr.begin());
+    std::copy_n(other.flags.begin(), size, flags.begin());
+}
+
+// ------------------------------------------------------ TraceSource
+
+bool
+TraceSource::fill(TraceChunk &chunk)
+{
+    // Default: pump the per-record API. Sources that can produce
+    // whole batches (Executor, the replay sources) override this.
+    chunk.clear();
+    TraceRecord r;
+    while (!chunk.full() && next(r))
+        chunk.push(r);
+    return !chunk.empty();
+}
+
+bool
+TraceSource::next(TraceRecord &out)
+{
+    // Default: drain an internal chunk refilled via fill().
+    if (!buffer || bufferPos >= buffer->size) {
+        if (!buffer)
+            buffer = std::make_unique<TraceChunk>();
+        bufferPos = 0;
+        if (!fill(*buffer))
+            return false;
+    }
+    out = buffer->record(bufferPos++);
+    return true;
+}
+
+const TraceChunk *
+TraceSource::fillRef(TraceChunk &scratch)
+{
+    return fill(scratch) ? &scratch : nullptr;
+}
+
+void
+TraceSource::resetBuffer()
+{
+    if (buffer)
+        buffer->clear();
+    bufferPos = 0;
+}
+
+} // namespace workload
+} // namespace gdiff

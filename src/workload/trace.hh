@@ -1,14 +1,22 @@
 /**
  * @file
- * Dynamic trace records: the interface between functional execution
- * and everything downstream (profile drivers, the timing pipeline,
- * and the predictors).
+ * Dynamic trace records and the chunked trace-source API: the
+ * interface between functional execution and everything downstream
+ * (profile drivers, the timing pipeline, and the predictors).
+ *
+ * Records move through the system in *chunks* — structure-of-arrays
+ * batches of up to TraceChunk::capacity records — so the hot consumer
+ * loops stream through parallel pc/value/effAddr/flags arrays instead
+ * of calling a virtual next() per instruction, and so a materialized
+ * trace can be shared read-only between jobs (workload/trace_cache.hh).
  */
 
 #ifndef GDIFF_WORKLOAD_TRACE_HH
 #define GDIFF_WORKLOAD_TRACE_HH
 
+#include <array>
 #include <cstdint>
+#include <memory>
 
 #include "isa/instruction.hh"
 
@@ -47,10 +55,92 @@ struct TraceRecord
 };
 
 /**
+ * A batch of retired instructions in structure-of-arrays layout.
+ *
+ * Columns are parallel: element i of every array describes dynamic
+ * instruction i of the chunk. The classification a consumer would
+ * otherwise re-derive per record (produces-value, load, store,
+ * control) is pre-decoded into a flags byte at push() time so the
+ * profile loops reduce to a flag test plus column reads.
+ *
+ * Chunks are ~260 KiB; heap-allocate them (the consumers and the
+ * TraceSource base class do) rather than placing one on the stack of
+ * a deep call chain.
+ */
+struct TraceChunk
+{
+    /// records per chunk (SoA batch size)
+    static constexpr uint32_t capacity = 4096;
+
+    /// @name flag bits, pre-decoded from the instruction
+    /// @{
+    static constexpr uint8_t flagTaken = 1u << 0;
+    static constexpr uint8_t flagProducesValue = 1u << 1;
+    static constexpr uint8_t flagLoad = 1u << 2;
+    static constexpr uint8_t flagStore = 1u << 3;
+    static constexpr uint8_t flagCondBranch = 1u << 4;
+    static constexpr uint8_t flagControl = 1u << 5;
+    /// @}
+
+    uint32_t size = 0; ///< valid records in the columns below
+
+    std::array<isa::Instruction, capacity> inst;
+    std::array<uint64_t, capacity> seq;
+    std::array<uint64_t, capacity> pc;
+    std::array<uint64_t, capacity> nextPc;
+    std::array<int64_t, capacity> value;
+    std::array<uint64_t, capacity> effAddr;
+    std::array<uint8_t, capacity> flags;
+
+    bool empty() const { return size == 0; }
+    bool full() const { return size == capacity; }
+    void clear() { size = 0; }
+
+    /// @name per-record flag tests
+    /// @{
+    bool taken(uint32_t i) const { return flags[i] & flagTaken; }
+    bool producesValue(uint32_t i) const
+    {
+        return flags[i] & flagProducesValue;
+    }
+    bool isLoad(uint32_t i) const { return flags[i] & flagLoad; }
+    bool isStore(uint32_t i) const { return flags[i] & flagStore; }
+    bool isCondBranch(uint32_t i) const
+    {
+        return flags[i] & flagCondBranch;
+    }
+    bool isControl(uint32_t i) const { return flags[i] & flagControl; }
+    /// @}
+
+    /** Append one record (chunk must not be full). */
+    void push(const TraceRecord &r);
+
+    /** @return record i re-assembled into the AoS form. */
+    TraceRecord record(uint32_t i) const;
+
+    /** Copy the used prefix of @p other into this chunk. */
+    void assign(const TraceChunk &other);
+
+    /** @return the flags byte push() would derive for @p r. */
+    static uint8_t deriveFlags(const TraceRecord &r);
+};
+
+/**
  * Abstract producer of a dynamic instruction stream.
  *
+ * The primary API is chunked: fill() hands the consumer up to
+ * TraceChunk::capacity records at a time. A per-record next() remains
+ * for inspection tools and tests; its default implementation drains
+ * an internal chunk buffer refilled via fill().
+ *
+ * Implementations must override at least one of fill()/next() — each
+ * default is expressed in terms of the other. Overriding both (as
+ * Executor does) avoids the buffering indirection entirely.
+ *
  * Implementations: workload::Executor (functional execution of a
- * synthetic kernel) and test fixtures that replay canned sequences.
+ * synthetic kernel), TraceFileSource (binary trace replay),
+ * CachedTraceSource (in-memory shared-trace replay), and test
+ * fixtures that replay canned sequences.
  */
 class TraceSource
 {
@@ -58,12 +148,42 @@ class TraceSource
     virtual ~TraceSource() = default;
 
     /**
+     * Produce the next batch of dynamic instructions.
+     *
+     * @param chunk cleared and refilled with 1..capacity records.
+     * @return false when the stream has ended (no records were added).
+     */
+    virtual bool fill(TraceChunk &chunk);
+
+    /**
      * Produce the next dynamic instruction.
      *
      * @param out filled with the next record on success.
      * @return false when the stream has ended (program halted).
      */
-    virtual bool next(TraceRecord &out) = 0;
+    virtual bool next(TraceRecord &out);
+
+    /**
+     * Zero-copy variant of fill(): return a read-only view of the
+     * next batch, or nullptr at end of stream. The default fills
+     * @p scratch via fill() and returns &scratch; replay sources
+     * that already hold frozen chunks return them directly, skipping
+     * the ~260 KiB copy per batch. The returned chunk is only valid
+     * until the next call on this source.
+     */
+    virtual const TraceChunk *fillRef(TraceChunk &scratch);
+
+  protected:
+    /**
+     * Drop any records the default next() has buffered but not yet
+     * handed out. Sources that support rewinding must call this when
+     * they rewind, or buffered stale records would replay first.
+     */
+    void resetBuffer();
+
+  private:
+    std::unique_ptr<TraceChunk> buffer; ///< lazily allocated
+    uint32_t bufferPos = 0;
 };
 
 } // namespace workload

@@ -1,0 +1,200 @@
+#include "workload/trace_cache.hh"
+
+#include <chrono>
+
+#include "util/logging.hh"
+#include "workload/workload.hh"
+
+namespace gdiff {
+namespace workload {
+
+// ------------------------------------------------ MaterializedTrace
+
+std::shared_ptr<const MaterializedTrace>
+MaterializedTrace::generate(const std::string &workload, uint64_t seed,
+                            uint64_t maxRecords)
+{
+    auto trace = std::make_shared<MaterializedTrace>();
+    Workload w = makeWorkload(workload, seed);
+    auto exec = w.makeExecutor();
+    trace->chunkList.reserve(
+        static_cast<size_t>(maxRecords / TraceChunk::capacity) + 1);
+    uint64_t remaining = maxRecords;
+    while (remaining > 0) {
+        auto chunk = std::make_unique<TraceChunk>();
+        if (!exec->fill(*chunk))
+            break;
+        // The executor fills whole chunks; trim the final one to the
+        // requested budget so the frozen stream ends exactly where a
+        // live consumer would stop.
+        if (chunk->size > remaining)
+            chunk->size = static_cast<uint32_t>(remaining);
+        remaining -= chunk->size;
+        trace->recordCount += chunk->size;
+        trace->chunkList.push_back(std::move(chunk));
+    }
+    return trace;
+}
+
+// ------------------------------------------------ CachedTraceSource
+
+CachedTraceSource::CachedTraceSource(
+    std::shared_ptr<const MaterializedTrace> t)
+    : trace(std::move(t))
+{
+    GDIFF_ASSERT(trace != nullptr,
+                 "CachedTraceSource needs a materialized trace");
+}
+
+bool
+CachedTraceSource::fill(TraceChunk &chunk)
+{
+    const auto &chunks = trace->chunks();
+    if (cursor >= chunks.size()) {
+        chunk.clear();
+        return false;
+    }
+    chunk.assign(*chunks[cursor++]);
+    return true;
+}
+
+const TraceChunk *
+CachedTraceSource::fillRef(TraceChunk &)
+{
+    const auto &chunks = trace->chunks();
+    if (cursor >= chunks.size())
+        return nullptr;
+    return chunks[cursor++].get();
+}
+
+void
+CachedTraceSource::rewind()
+{
+    cursor = 0;
+    resetBuffer();
+}
+
+// ------------------------------------------------------- TraceCache
+
+TraceCache::TraceCache() : TraceCache(Config()) {}
+
+TraceCache::TraceCache(const Config &config) : cfg(config) {}
+
+TraceCache &
+TraceCache::global()
+{
+    static TraceCache cache;
+    return cache;
+}
+
+TraceCache::Acquired
+TraceCache::acquire(const std::string &workload, uint64_t seed,
+                    uint64_t records)
+{
+    Key key{workload, seed, records};
+    std::promise<std::shared_ptr<const MaterializedTrace>> promise;
+    std::shared_future<std::shared_ptr<const MaterializedTrace>> fut;
+    bool builder = false;
+
+    {
+        std::lock_guard<std::mutex> guard(lock);
+        auto it = entries.find(key);
+        if (it != entries.end()) {
+            ++counters.hits;
+            if (it->second.bytes > 0) {
+                // Finished entry: refresh its LRU position.
+                lru.erase(it->second.lruPos);
+                lru.push_back(key);
+                it->second.lruPos = std::prev(lru.end());
+            }
+            fut = it->second.future;
+        } else {
+            builder = true;
+            fut = promise.get_future().share();
+            Entry e;
+            e.future = fut;
+            e.lruPos = lru.end();
+            entries.emplace(key, std::move(e));
+        }
+    }
+
+    Acquired out;
+    if (builder) {
+        auto t0 = std::chrono::steady_clock::now();
+        auto trace =
+            MaterializedTrace::generate(workload, seed, records);
+        std::chrono::duration<double> dt =
+            std::chrono::steady_clock::now() - t0;
+        out.generated = true;
+        out.generateSeconds = dt.count();
+        promise.set_value(trace);
+
+        std::lock_guard<std::mutex> guard(lock);
+        ++counters.generations;
+        auto it = entries.find(key);
+        if (it != entries.end()) {
+            it->second.bytes = trace->bytes();
+            residentBytes += trace->bytes();
+            lru.push_back(key);
+            it->second.lruPos = std::prev(lru.end());
+            evictLocked();
+        }
+        out.source = std::make_unique<CachedTraceSource>(trace);
+        return out;
+    }
+
+    // Another thread is (or was) the builder: wait for its trace.
+    std::shared_ptr<const MaterializedTrace> trace = fut.get();
+    out.source = std::make_unique<CachedTraceSource>(trace);
+    return out;
+}
+
+void
+TraceCache::evictLocked()
+{
+    if (cfg.maxBytes == 0)
+        return;
+    // Never evict the most-recent entry: a triple larger than the
+    // whole cap still has to live long enough to be replayed.
+    while (residentBytes > cfg.maxBytes && lru.size() > 1) {
+        Key victim = lru.front();
+        lru.pop_front();
+        auto it = entries.find(victim);
+        GDIFF_ASSERT(it != entries.end(),
+                     "trace-cache LRU points at a missing entry");
+        residentBytes -= it->second.bytes;
+        entries.erase(it);
+        ++counters.evictions;
+    }
+}
+
+TraceCache::Stats
+TraceCache::stats() const
+{
+    std::lock_guard<std::mutex> guard(lock);
+    Stats s = counters;
+    s.residentBytes = residentBytes;
+    s.entries = entries.size();
+    return s;
+}
+
+void
+TraceCache::clear()
+{
+    std::lock_guard<std::mutex> guard(lock);
+    entries.clear();
+    lru.clear();
+    residentBytes = 0;
+    counters = Stats();
+}
+
+void
+TraceCache::setMaxBytes(size_t bytes)
+{
+    std::lock_guard<std::mutex> guard(lock);
+    cfg.maxBytes = bytes;
+    evictLocked();
+}
+
+} // namespace workload
+} // namespace gdiff

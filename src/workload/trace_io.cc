@@ -1,7 +1,6 @@
 #include "workload/trace_io.hh"
 
 #include <array>
-#include <cstring>
 
 #include "util/logging.hh"
 
@@ -11,8 +10,7 @@ namespace workload {
 namespace {
 
 constexpr uint32_t traceMagic = 0x52544447; // "GDTR" little-endian
-constexpr uint32_t traceVersion = 1;
-constexpr size_t recordBytes = 64;
+constexpr uint32_t traceVersion = 2;
 
 struct FileHeader
 {
@@ -22,61 +20,58 @@ struct FileHeader
 };
 static_assert(sizeof(FileHeader) == 16, "header layout");
 
-/** Fixed-width on-disk record. */
-struct DiskRecord
+/**
+ * One on-disk block: a u32 record count n, then these columns, each
+ * n elements long. Instruction fields are split into scalar columns
+ * so the layout is independent of isa::Instruction's padding.
+ */
+struct BlockColumns
 {
-    uint64_t seq;
-    uint64_t pc;
-    uint64_t nextPc;
-    int64_t value;
-    uint64_t effAddr;
-    int64_t imm;
-    uint32_t target;
-    uint8_t op;
-    uint8_t rd;
-    uint8_t rs1;
-    uint8_t rs2;
-    uint8_t taken;
-    uint8_t pad[7];
+    std::array<uint8_t, TraceChunk::capacity> op, rd, rs1, rs2, flags;
+    std::array<uint32_t, TraceChunk::capacity> target;
+    std::array<int64_t, TraceChunk::capacity> imm;
 };
-static_assert(sizeof(DiskRecord) == recordBytes, "record layout");
 
-DiskRecord
-pack(const TraceRecord &r)
+void
+writeColumn(std::FILE *f, const void *data, size_t elemBytes,
+            uint32_t n)
 {
-    DiskRecord d{};
-    d.seq = r.seq;
-    d.pc = r.pc;
-    d.nextPc = r.nextPc;
-    d.value = r.value;
-    d.effAddr = r.effAddr;
-    d.imm = r.inst.imm;
-    d.target = r.inst.target;
-    d.op = static_cast<uint8_t>(r.inst.op);
-    d.rd = r.inst.rd;
-    d.rs1 = r.inst.rs1;
-    d.rs2 = r.inst.rs2;
-    d.taken = r.taken ? 1 : 0;
-    return d;
+    if (std::fwrite(data, elemBytes, n, f) != n)
+        fatal("short write while appending a trace block");
 }
 
-TraceRecord
-unpack(const DiskRecord &d)
+void
+writeBlock(std::FILE *f, const TraceChunk &chunk)
 {
-    TraceRecord r;
-    r.seq = d.seq;
-    r.pc = d.pc;
-    r.nextPc = d.nextPc;
-    r.value = d.value;
-    r.effAddr = d.effAddr;
-    r.inst.imm = d.imm;
-    r.inst.target = d.target;
-    r.inst.op = static_cast<isa::Opcode>(d.op);
-    r.inst.rd = d.rd;
-    r.inst.rs1 = d.rs1;
-    r.inst.rs2 = d.rs2;
-    r.taken = d.taken != 0;
-    return r;
+    const uint32_t n = chunk.size;
+    GDIFF_ASSERT(n > 0 && n <= TraceChunk::capacity,
+                 "trace block size %u out of range", n);
+    if (std::fwrite(&n, sizeof(n), 1, f) != 1)
+        fatal("short write while appending a trace block");
+
+    BlockColumns cols;
+    for (uint32_t i = 0; i < n; ++i) {
+        const isa::Instruction &in = chunk.inst[i];
+        cols.op[i] = static_cast<uint8_t>(in.op);
+        cols.rd[i] = in.rd;
+        cols.rs1[i] = in.rs1;
+        cols.rs2[i] = in.rs2;
+        cols.flags[i] = chunk.flags[i];
+        cols.target[i] = in.target;
+        cols.imm[i] = in.imm;
+    }
+    writeColumn(f, cols.op.data(), 1, n);
+    writeColumn(f, cols.rd.data(), 1, n);
+    writeColumn(f, cols.rs1.data(), 1, n);
+    writeColumn(f, cols.rs2.data(), 1, n);
+    writeColumn(f, cols.flags.data(), 1, n);
+    writeColumn(f, cols.target.data(), sizeof(uint32_t), n);
+    writeColumn(f, cols.imm.data(), sizeof(int64_t), n);
+    writeColumn(f, chunk.seq.data(), sizeof(uint64_t), n);
+    writeColumn(f, chunk.pc.data(), sizeof(uint64_t), n);
+    writeColumn(f, chunk.nextPc.data(), sizeof(uint64_t), n);
+    writeColumn(f, chunk.value.data(), sizeof(int64_t), n);
+    writeColumn(f, chunk.effAddr.data(), sizeof(uint64_t), n);
 }
 
 } // anonymous namespace
@@ -102,10 +97,34 @@ void
 TraceWriter::append(const TraceRecord &r)
 {
     GDIFF_ASSERT(file != nullptr, "append to a closed TraceWriter");
-    DiskRecord d = pack(r);
-    if (std::fwrite(&d, sizeof(d), 1, file) != 1)
-        fatal("short write while appending a trace record");
+    if (!pending)
+        pending = std::make_unique<TraceChunk>();
+    pending->push(r);
     ++count;
+    if (pending->full())
+        flushPending();
+}
+
+void
+TraceWriter::append(const TraceChunk &chunk)
+{
+    GDIFF_ASSERT(file != nullptr, "append to a closed TraceWriter");
+    if (chunk.empty())
+        return;
+    // Flush the partial per-record block first so records stay in
+    // stream order whatever mix of append() overloads fed the file.
+    flushPending();
+    writeBlock(file, chunk);
+    count += chunk.size;
+}
+
+void
+TraceWriter::flushPending()
+{
+    if (!pending || pending->empty())
+        return;
+    writeBlock(file, *pending);
+    pending->clear();
 }
 
 void
@@ -113,6 +132,7 @@ TraceWriter::close()
 {
     if (!file)
         return;
+    flushPending();
     // Finalise the record count in the header.
     FileHeader h{traceMagic, traceVersion, count};
     if (std::fseek(file, 0, SEEK_SET) != 0 ||
@@ -125,7 +145,7 @@ TraceWriter::close()
 
 // ------------------------------------------------------ TraceFileSource
 
-TraceFileSource::TraceFileSource(const std::string &path)
+TraceFileSource::TraceFileSource(const std::string &p) : path(p)
 {
     file = std::fopen(path.c_str(), "rb");
     if (!file)
@@ -149,17 +169,57 @@ TraceFileSource::~TraceFileSource()
 }
 
 bool
-TraceFileSource::next(TraceRecord &out)
+TraceFileSource::fill(TraceChunk &chunk)
 {
+    chunk.clear();
     if (consumed >= total)
         return false;
-    DiskRecord d{};
-    if (std::fread(&d, sizeof(d), 1, file) != 1)
+
+    auto truncated = [&]() {
         fatal("trace truncated after %llu of %llu records",
               static_cast<unsigned long long>(consumed),
               static_cast<unsigned long long>(total));
-    out = unpack(d);
-    ++consumed;
+    };
+
+    uint32_t n = 0;
+    if (std::fread(&n, sizeof(n), 1, file) != 1)
+        truncated();
+    if (n == 0 || n > TraceChunk::capacity ||
+        n > total - consumed) {
+        fatal("trace '%s' has a corrupt block of %u records",
+              path.c_str(), n);
+    }
+
+    auto readColumn = [&](void *data, size_t elemBytes) {
+        if (std::fread(data, elemBytes, n, file) != n)
+            truncated();
+    };
+    BlockColumns cols;
+    readColumn(cols.op.data(), 1);
+    readColumn(cols.rd.data(), 1);
+    readColumn(cols.rs1.data(), 1);
+    readColumn(cols.rs2.data(), 1);
+    readColumn(cols.flags.data(), 1);
+    readColumn(cols.target.data(), sizeof(uint32_t));
+    readColumn(cols.imm.data(), sizeof(int64_t));
+    readColumn(chunk.seq.data(), sizeof(uint64_t));
+    readColumn(chunk.pc.data(), sizeof(uint64_t));
+    readColumn(chunk.nextPc.data(), sizeof(uint64_t));
+    readColumn(chunk.value.data(), sizeof(int64_t));
+    readColumn(chunk.effAddr.data(), sizeof(uint64_t));
+
+    for (uint32_t i = 0; i < n; ++i) {
+        isa::Instruction &in = chunk.inst[i];
+        in.op = static_cast<isa::Opcode>(cols.op[i]);
+        in.rd = cols.rd[i];
+        in.rs1 = cols.rs1[i];
+        in.rs2 = cols.rs2[i];
+        in.target = cols.target[i];
+        in.imm = cols.imm[i];
+        chunk.flags[i] = cols.flags[i];
+    }
+    chunk.size = n;
+    consumed += n;
     return true;
 }
 
@@ -170,6 +230,7 @@ TraceFileSource::rewind()
     if (std::fseek(file, sizeof(FileHeader), SEEK_SET) != 0)
         fatal("cannot rewind trace file");
     consumed = 0;
+    resetBuffer();
 }
 
 } // namespace workload

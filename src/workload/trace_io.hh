@@ -5,10 +5,15 @@
  * natural interchange point for driving the predictors from traces
  * produced elsewhere).
  *
- * Format: a 16-byte header (magic "GDTR", version, record count)
- * followed by fixed-width 64-byte little-endian records. The format
- * is versioned and validated on open; readers reject mismatched
- * magic/version and truncated files.
+ * Format (version 2, chunked columnar): a 16-byte header (magic
+ * "GDTR", version, record count) followed by blocks of up to
+ * TraceChunk::capacity records. Each block is a u32 record count and
+ * then one little-endian column per field (op, rd, rs1, rs2, flags,
+ * target, imm, seq, pc, nextPc, value, effAddr) — the on-disk mirror
+ * of the in-memory structure-of-arrays TraceChunk, so replay is a
+ * handful of bulk freads per 4K records. The format is versioned and
+ * validated on open; readers reject mismatched magic/version and
+ * truncated files.
  */
 
 #ifndef GDIFF_WORKLOAD_TRACE_IO_HH
@@ -16,6 +21,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "workload/trace.hh"
@@ -23,7 +29,7 @@
 namespace gdiff {
 namespace workload {
 
-/** Writes TraceRecords to a binary trace file. */
+/** Writes TraceRecords to a binary trace file in chunked blocks. */
 class TraceWriter
 {
   public:
@@ -37,8 +43,11 @@ class TraceWriter
     TraceWriter(const TraceWriter &) = delete;
     TraceWriter &operator=(const TraceWriter &) = delete;
 
-    /** Append one record. */
+    /** Append one record (buffered into the pending block). */
     void append(const TraceRecord &r);
+
+    /** Append a whole chunk as one block. */
+    void append(const TraceChunk &chunk);
 
     /** Flush, finalise the header, and close. Idempotent. */
     void close();
@@ -47,12 +56,18 @@ class TraceWriter
     uint64_t written() const { return count; }
 
   private:
+    /** Write the pending partial block, if any. */
+    void flushPending();
+
     std::FILE *file = nullptr;
     uint64_t count = 0;
+    std::unique_ptr<TraceChunk> pending;
 };
 
 /**
- * Replays a binary trace file as a TraceSource.
+ * Replays a binary trace file as a TraceSource. fill() reads one
+ * on-disk block per call; the per-record next() comes from the
+ * buffered TraceSource default.
  */
 class TraceFileSource : public TraceSource
 {
@@ -67,7 +82,7 @@ class TraceFileSource : public TraceSource
     TraceFileSource(const TraceFileSource &) = delete;
     TraceFileSource &operator=(const TraceFileSource &) = delete;
 
-    bool next(TraceRecord &out) override;
+    bool fill(TraceChunk &chunk) override;
 
     /** @return total records the header promises. */
     uint64_t totalRecords() const { return total; }
@@ -77,6 +92,7 @@ class TraceFileSource : public TraceSource
 
   private:
     std::FILE *file = nullptr;
+    std::string path;
     uint64_t total = 0;
     uint64_t consumed = 0;
 };

@@ -1,0 +1,350 @@
+/**
+ * @file
+ * Trace-layer tests: the chunked TraceSource API (fill() vs the
+ * legacy per-record next() must yield the identical stream for every
+ * built-in kernel), the shared TraceCache (exactly-once generation
+ * per triple — including under concurrent acquires — LRU eviction
+ * under a byte cap), the cached-vs-uncached sweep determinism
+ * contract, and the run-length validation on ProfileConfig/JobSpec.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "runner/runner.hh"
+#include "sim/profile.hh"
+#include "workload/executor.hh"
+#include "workload/trace_cache.hh"
+#include "workload/workload.hh"
+
+namespace gdiff {
+namespace workload {
+namespace {
+
+/** Field-by-field record equality (Instruction has no operator==). */
+void
+expectRecordEq(const TraceRecord &a, const TraceRecord &b,
+               const std::string &what)
+{
+    ASSERT_EQ(a.seq, b.seq) << what;
+    EXPECT_EQ(a.pc, b.pc) << what << " seq=" << a.seq;
+    EXPECT_EQ(a.nextPc, b.nextPc) << what << " seq=" << a.seq;
+    EXPECT_EQ(a.value, b.value) << what << " seq=" << a.seq;
+    EXPECT_EQ(a.effAddr, b.effAddr) << what << " seq=" << a.seq;
+    EXPECT_EQ(a.taken, b.taken) << what << " seq=" << a.seq;
+    EXPECT_EQ(a.inst.op, b.inst.op) << what << " seq=" << a.seq;
+    EXPECT_EQ(a.inst.rd, b.inst.rd) << what << " seq=" << a.seq;
+    EXPECT_EQ(a.inst.rs1, b.inst.rs1) << what << " seq=" << a.seq;
+    EXPECT_EQ(a.inst.rs2, b.inst.rs2) << what << " seq=" << a.seq;
+    EXPECT_EQ(a.inst.imm, b.inst.imm) << what << " seq=" << a.seq;
+    EXPECT_EQ(a.inst.target, b.inst.target) << what << " seq=" << a.seq;
+}
+
+// --------------------------------------------------- chunk mechanics
+
+TEST(TraceChunkTest, PushRecordRoundTripsAndDerivesFlags)
+{
+    Workload w = makeWorkload("micro.stride", 1);
+    auto exec = w.makeExecutor();
+    TraceChunk chunk;
+    TraceRecord r;
+    for (int i = 0; i < 100 && exec->next(r); ++i) {
+        ASSERT_FALSE(chunk.full());
+        chunk.push(r);
+        uint32_t j = chunk.size - 1;
+        expectRecordEq(chunk.record(j), r, "round-trip");
+        EXPECT_EQ(chunk.producesValue(j), r.producesValue());
+        EXPECT_EQ(chunk.isLoad(j), r.isLoad());
+        EXPECT_EQ(chunk.isStore(j), r.isStore());
+        EXPECT_EQ(chunk.isCondBranch(j), r.isCondBranch());
+        EXPECT_EQ(chunk.isControl(j), r.isControl());
+        EXPECT_EQ(chunk.taken(j), r.taken);
+    }
+    EXPECT_EQ(chunk.size, 100u);
+}
+
+/**
+ * The core equivalence the whole refactor rests on: for every
+ * built-in kernel, the chunked fill() stream is record-identical to
+ * the legacy per-record next() stream. The budget spans a chunk
+ * boundary so block stitching is exercised.
+ */
+TEST(TraceChunkTest, FillMatchesPerRecordNextForEveryKernel)
+{
+    constexpr uint64_t budget = TraceChunk::capacity + 1500;
+    for (const auto &name : specWorkloadNames()) {
+        auto chunked = makeWorkload(name, 3).makeExecutor();
+        auto legacy = makeWorkload(name, 3).makeExecutor();
+
+        auto chunk = std::make_unique<TraceChunk>();
+        uint64_t seen = 0;
+        while (seen < budget && chunked->fill(*chunk)) {
+            for (uint32_t i = 0; i < chunk->size && seen < budget;
+                 ++i, ++seen) {
+                TraceRecord r;
+                ASSERT_TRUE(legacy->next(r)) << name;
+                expectRecordEq(chunk->record(i), r, name);
+            }
+        }
+        EXPECT_EQ(seen, budget) << name;
+    }
+}
+
+// ------------------------------------------------ materialized trace
+
+TEST(MaterializedTraceTest, ReplayIsRecordIdenticalToRegeneration)
+{
+    constexpr uint64_t records = 10'000;
+    auto trace = MaterializedTrace::generate("micro.pairsum", 7,
+                                             records);
+    ASSERT_EQ(trace->records(), records);
+    EXPECT_EQ(trace->bytes(),
+              trace->chunks().size() * sizeof(TraceChunk));
+
+    CachedTraceSource replay(trace);
+    auto fresh = makeWorkload("micro.pairsum", 7).makeExecutor();
+    TraceRecord a, b;
+    for (uint64_t i = 0; i < records; ++i) {
+        ASSERT_TRUE(replay.next(a)) << "replay ended early at " << i;
+        ASSERT_TRUE(fresh->next(b));
+        expectRecordEq(a, b, "replay-vs-fresh");
+    }
+    EXPECT_FALSE(replay.next(a)) << "replay must stop at the budget";
+}
+
+TEST(MaterializedTraceTest, RewindReplaysFromTheFirstRecord)
+{
+    auto trace = MaterializedTrace::generate("micro.stride", 1, 5000);
+    CachedTraceSource replay(trace);
+    TraceRecord first, r;
+    ASSERT_TRUE(replay.next(first));
+    while (replay.next(r)) {
+    }
+    replay.rewind();
+    ASSERT_TRUE(replay.next(r));
+    expectRecordEq(r, first, "rewind");
+}
+
+// ------------------------------------------------------- trace cache
+
+TEST(TraceCacheTest, SecondAcquireIsAHit)
+{
+    TraceCache cache;
+    auto a = cache.acquire("micro.stride", 1, 6000);
+    EXPECT_TRUE(a.generated);
+    EXPECT_GE(a.generateSeconds, 0.0);
+    auto b = cache.acquire("micro.stride", 1, 6000);
+    EXPECT_FALSE(b.generated);
+    EXPECT_EQ(b.generateSeconds, 0.0);
+
+    TraceCache::Stats s = cache.stats();
+    EXPECT_EQ(s.generations, 1u);
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.entries, 1u);
+    EXPECT_GT(s.residentBytes, 0u);
+
+    // Distinct triples (different seed / budget) are distinct entries.
+    cache.acquire("micro.stride", 2, 6000);
+    cache.acquire("micro.stride", 1, 7000);
+    EXPECT_EQ(cache.stats().generations, 3u);
+}
+
+TEST(TraceCacheTest, ConcurrentAcquiresGenerateExactlyOnce)
+{
+    TraceCache cache;
+    constexpr int nThreads = 8;
+    std::vector<std::thread> pool;
+    std::vector<std::unique_ptr<TraceSource>> sources(nThreads);
+    std::atomic<int> generatedCount{0};
+    for (int t = 0; t < nThreads; ++t) {
+        pool.emplace_back([&, t] {
+            auto acq = cache.acquire("micro.periodic", 5, 9000);
+            if (acq.generated)
+                ++generatedCount;
+            sources[t] = std::move(acq.source);
+        });
+    }
+    for (auto &th : pool)
+        th.join();
+
+    EXPECT_EQ(generatedCount.load(), 1);
+    EXPECT_EQ(cache.stats().generations, 1u);
+    EXPECT_EQ(cache.stats().hits,
+              static_cast<uint64_t>(nThreads - 1));
+
+    // Every thread got a working, independent replay cursor.
+    TraceRecord ref;
+    ASSERT_TRUE(sources[0]->next(ref));
+    for (int t = 1; t < nThreads; ++t) {
+        TraceRecord r;
+        ASSERT_TRUE(sources[t]->next(r)) << "thread " << t;
+        expectRecordEq(r, ref, "concurrent replay");
+    }
+}
+
+TEST(TraceCacheTest, LruEvictionHonoursByteCap)
+{
+    // Cap = one chunk: every one-chunk trace fills the cache, so each
+    // new triple evicts the previous one (never the newest).
+    TraceCache::Config cfg;
+    cfg.maxBytes = sizeof(TraceChunk);
+    TraceCache cache(cfg);
+
+    cache.acquire("micro.stride", 1, 1000);
+    cache.acquire("micro.stride", 2, 1000);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_EQ(cache.stats().entries, 1u);
+    EXPECT_LE(cache.stats().residentBytes, sizeof(TraceChunk));
+
+    // Seed 1 was evicted, so asking again regenerates.
+    auto again = cache.acquire("micro.stride", 1, 1000);
+    EXPECT_TRUE(again.generated);
+    EXPECT_EQ(cache.stats().generations, 3u);
+
+    // An evicted trace still replays through live sources: the
+    // shared_ptr keeps the buffer alive past eviction.
+    auto held = cache.acquire("micro.stride", 3, 1000);
+    cache.acquire("micro.stride", 4, 1000); // evicts seed 3's entry
+    TraceRecord r;
+    EXPECT_TRUE(held.source->next(r));
+
+    cache.clear();
+    EXPECT_EQ(cache.stats().entries, 0u);
+    EXPECT_EQ(cache.stats().residentBytes, 0u);
+}
+
+// --------------------------------------------- sweep-level contract
+
+/** The 24-job grid from the runner tests: 6 (workload, seed) triples. */
+runner::SweepSpec
+smallGrid()
+{
+    runner::SweepSpec spec;
+    spec.mode = runner::JobMode::Profile;
+    spec.workloads = {"micro.stride", "micro.periodic",
+                      "micro.pairsum"};
+    spec.predictors = {"stride", "gdiff"};
+    spec.orders = {4, 8};
+    spec.seeds = {1, 2};
+    spec.defaultInstructions = 12'000;
+    spec.warmup = 1'000;
+    return spec;
+}
+
+/** Run smallGrid() and return {job key → metrics}. */
+std::map<std::string, std::vector<std::pair<std::string, double>>>
+runSweep(unsigned threads, bool useCache)
+{
+    runner::SweepRunner sweep(smallGrid());
+    runner::CollectingSink collect;
+    sweep.addSink(collect);
+    runner::SweepOptions opt;
+    opt.threads = threads;
+    opt.useTraceCache = useCache;
+    sweep.run(opt);
+    std::map<std::string,
+             std::vector<std::pair<std::string, double>>> out;
+    for (const auto &r : collect.records())
+        out[r.spec.key()] = r.result.metrics;
+    return out;
+}
+
+TEST(TraceCacheSweepTest, SweepGeneratesOncePerTriple)
+{
+    TraceCache &cache = TraceCache::global();
+    cache.clear();
+
+    runner::SweepRunner sweep(smallGrid());
+    runner::CollectingSink collect;
+    sweep.addSink(collect);
+    runner::SweepOptions opt;
+    opt.threads = 4;
+    runner::SweepSummary s = sweep.run(opt);
+
+    // 24 jobs share 6 (workload, seed, records) triples: exactly 6
+    // materializations, whatever the completion interleaving.
+    EXPECT_EQ(s.ranJobs, 24u);
+    EXPECT_EQ(s.generatedTraces, 6u);
+    EXPECT_EQ(s.replayedJobs, 18u);
+    EXPECT_EQ(cache.stats().generations, 6u);
+    size_t replayed = 0;
+    for (const auto &r : collect.records())
+        replayed += r.result.traceReplayed ? 1 : 0;
+    EXPECT_EQ(replayed, 18u);
+    cache.clear();
+}
+
+TEST(TraceCacheSweepTest, CachedMetricsBitIdenticalToUncached)
+{
+    TraceCache::global().clear();
+    auto uncached = runSweep(1, false);
+    ASSERT_EQ(uncached.size(), 24u);
+    for (unsigned threads : {1u, 4u}) {
+        TraceCache::global().clear();
+        auto cached = runSweep(threads, true);
+        // Exact double equality, key by key: replaying the shared
+        // trace must not perturb a single bit of any metric.
+        EXPECT_EQ(cached, uncached) << "threads=" << threads;
+    }
+    TraceCache::global().clear();
+}
+
+// -------------------------------------------- run-length validation
+
+TEST(ValidationDeath, ProfileRejectsZeroInstructions)
+{
+    sim::ProfileConfig cfg;
+    cfg.maxInstructions = 0;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "run length is 0");
+}
+
+TEST(ValidationDeath, ProfileRejectsWarmupSwallowingTheBudget)
+{
+    sim::ProfileConfig cfg;
+    cfg.maxInstructions = 1000;
+    cfg.warmupInstructions = 1000;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "must be smaller than");
+    cfg.warmupInstructions = 5000;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "must be smaller than");
+}
+
+TEST(ValidationDeath, JobSpecRejectsDegenerateRunLengths)
+{
+    runner::JobSpec zero;
+    zero.instructions = 0;
+    EXPECT_EXIT(zero.validate(), ::testing::ExitedWithCode(1),
+                "instructions must be > 0");
+
+    runner::JobSpec swallowed;
+    swallowed.instructions = 500;
+    swallowed.warmup = 500;
+    EXPECT_EXIT(swallowed.validate(), ::testing::ExitedWithCode(1),
+                "must be smaller than");
+}
+
+TEST(ValidationTest, SaneRunLengthsPass)
+{
+    sim::ProfileConfig cfg;
+    cfg.maxInstructions = 1000;
+    cfg.warmupInstructions = 999;
+    cfg.validate(); // must not exit
+
+    runner::JobSpec spec;
+    spec.instructions = 1000;
+    spec.warmup = 0;
+    spec.validate(); // must not exit
+}
+
+} // namespace
+} // namespace workload
+} // namespace gdiff
