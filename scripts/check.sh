@@ -32,4 +32,10 @@ rm -f build/smoke.jsonl build/smoke.csv build/smoke.manifest
     --out build/smoke.jsonl --manifest build/smoke.manifest \
     --no-table 2>&1 | grep -q 'ran 0 jobs (18 resumed/skipped)' || {
     echo "smoke sweep: resume did not skip completed jobs"; exit 1; }
+# Differential fuzz smoke: oracles vs production predictors, pipeline
+# invariants, and the mutation-sanity self-test.
+./build/examples/gdifffuzz --cases=1000 --seed=1
+rm -rf build/fuzz-repros && mkdir -p build/fuzz-repros
+./build/examples/gdifffuzz --cases=1000 --seed=1 --mutate \
+    --out-dir=build/fuzz-repros --no-pipeline
 echo "all checks passed"

@@ -1,0 +1,72 @@
+#include "check/differ.hh"
+
+#include <cinttypes>
+
+#include "util/logging.hh"
+
+namespace gdiff {
+namespace check {
+
+std::string
+Divergence::describe() const
+{
+    auto side = [](bool predicted, int64_t value) {
+        return predicted
+                   ? formatString("%" PRId64 " (0x%" PRIx64 ")", value,
+                                  static_cast<uint64_t>(value))
+                   : std::string("no prediction");
+    };
+    return formatString(
+        "record %" PRIu64 " pc=0x%" PRIx64
+        ": production %s vs oracle %s",
+        index, pc, side(prodPredicted, prodValue).c_str(),
+        side(refPredicted, refValue).c_str());
+}
+
+std::optional<Divergence>
+diffStream(predictors::ValuePredictor &production,
+           predictors::ValuePredictor &oracle,
+           const std::vector<FuzzRecord> &stream)
+{
+    for (size_t i = 0; i < stream.size(); ++i) {
+        const FuzzRecord &r = stream[i];
+        int64_t prod_value = 0, ref_value = 0;
+        bool prod_hit = production.predict(r.pc, prod_value);
+        bool ref_hit = oracle.predict(r.pc, ref_value);
+        if (prod_hit != ref_hit ||
+            (prod_hit && prod_value != ref_value)) {
+            Divergence d;
+            d.index = i;
+            d.pc = r.pc;
+            d.prodPredicted = prod_hit;
+            d.refPredicted = ref_hit;
+            d.prodValue = prod_value;
+            d.refValue = ref_value;
+            d.updates = i;
+            return d;
+        }
+        production.update(r.pc, r.value);
+        oracle.update(r.pc, r.value);
+    }
+    return std::nullopt;
+}
+
+uint64_t
+streamDigest(const std::vector<FuzzRecord> &stream)
+{
+    uint64_t h = 0xcbf29ce484222325ull; // FNV offset basis
+    auto mix = [&h](uint64_t v) {
+        for (int b = 0; b < 64; b += 8) {
+            h ^= (v >> b) & 0xff;
+            h *= 0x100000001b3ull; // FNV prime
+        }
+    };
+    for (const FuzzRecord &r : stream) {
+        mix(r.pc);
+        mix(static_cast<uint64_t>(r.value));
+    }
+    return h;
+}
+
+} // namespace check
+} // namespace gdiff

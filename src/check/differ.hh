@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The differential harness: drive a production predictor and its
+ * reference oracle over the same (pc, value) stream and report the
+ * first place they disagree — either on *whether* a prediction was
+ * made or on the predicted value.
+ *
+ * The protocol per record mirrors the profile drivers: both models
+ * are asked to predict for the record's PC, the answers are compared,
+ * then both are trained on the actual value. Divergences therefore
+ * carry the exact record index, which is what the shrinker
+ * (src/check/shrink.hh) minimizes against.
+ */
+
+#ifndef GDIFF_CHECK_DIFFER_HH
+#define GDIFF_CHECK_DIFFER_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "predictors/value_predictor.hh"
+
+namespace gdiff {
+namespace check {
+
+/** One fuzzed value production: the unit the oracles are diffed on. */
+struct FuzzRecord
+{
+    uint64_t pc = 0;   ///< producing instruction's address
+    int64_t value = 0; ///< the value it produced
+
+    bool
+    operator==(const FuzzRecord &o) const
+    {
+        return pc == o.pc && value == o.value;
+    }
+};
+
+/** First point of disagreement between production and oracle. */
+struct Divergence
+{
+    uint64_t index = 0; ///< record index within the stream
+    uint64_t pc = 0;    ///< PC of the diverging record
+    bool prodPredicted = false;
+    bool refPredicted = false;
+    int64_t prodValue = 0; ///< valid when prodPredicted
+    int64_t refValue = 0;  ///< valid when refPredicted
+    uint64_t updates = 0;  ///< records both models had trained on
+
+    /** @return a one-line human-readable report. */
+    std::string describe() const;
+};
+
+/**
+ * Run both models over the stream, prediction-by-prediction.
+ *
+ * Both models must be freshly constructed: the comparison starts from
+ * empty tables. @return the first divergence, or nullopt if the
+ * models agree on every record.
+ */
+std::optional<Divergence>
+diffStream(predictors::ValuePredictor &production,
+           predictors::ValuePredictor &oracle,
+           const std::vector<FuzzRecord> &stream);
+
+/**
+ * Stable 64-bit digest of a stream (FNV-1a over pc/value pairs) —
+ * the reproducibility fingerprint gdifffuzz prints so two runs with
+ * the same seed can be byte-compared.
+ */
+uint64_t streamDigest(const std::vector<FuzzRecord> &stream);
+
+} // namespace check
+} // namespace gdiff
+
+#endif // GDIFF_CHECK_DIFFER_HH

@@ -1,0 +1,254 @@
+#include "check/fuzzer.hh"
+
+#include <limits>
+
+#include "isa/instruction.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+#include "workload/assembler.hh"
+
+namespace gdiff {
+namespace check {
+
+namespace {
+
+/** How one fuzzed site produces its next value. */
+enum class Behavior : unsigned {
+    Constant, ///< repeats one value (last-value territory)
+    Stride,   ///< fixed stride (local stride territory)
+    Periodic, ///< repeating stride pattern (FCM territory)
+    Follower, ///< last global value + constant diff (gdiff, k=0)
+    Mirror,   ///< value from k productions back + diff (gdiff, k>0)
+    Noise,    ///< uniform random (nobody's territory)
+    NumBehaviors
+};
+
+struct Site
+{
+    uint64_t pc = 0;
+    Behavior behavior = Behavior::Constant;
+    int64_t value = 0;
+    int64_t stride = 0;
+    std::vector<int64_t> pattern; ///< Periodic: stride cycle
+    size_t phase = 0;
+    unsigned lag = 0;    ///< Mirror: global correlation distance
+    int64_t delta = 0;   ///< Follower/Mirror: constant difference
+};
+
+} // anonymous namespace
+
+std::vector<FuzzRecord>
+fuzzValueStream(const FuzzStreamConfig &cfg)
+{
+    GDIFF_ASSERT(cfg.sites >= 1, "fuzz stream needs >= 1 site");
+    Xorshift64Star rng(cfg.seed);
+
+    std::vector<Site> sites(cfg.sites);
+    for (unsigned i = 0; i < cfg.sites; ++i) {
+        Site &s = sites[i];
+        // Spread PCs across the text segment so hashed and low-bit
+        // table indexing both see realistic addresses.
+        s.pc = isa::textBase +
+               isa::instBytes * (1 + rng.below(1 << 16));
+        s.behavior = static_cast<Behavior>(
+            rng.below(static_cast<uint64_t>(Behavior::NumBehaviors)));
+        // Some sites live near the int64 edges: stride updates there
+        // must wrap in two's complement exactly like the hardware.
+        if (rng.chancePercent(cfg.wideValuePercent)) {
+            s.value = std::numeric_limits<int64_t>::max() -
+                      static_cast<int64_t>(rng.below(1024));
+        } else {
+            s.value = rng.inRange(-100'000, 100'000);
+        }
+        s.stride = rng.inRange(-4096, 4096);
+        s.delta = rng.inRange(-512, 512);
+        s.lag = 1 + static_cast<unsigned>(rng.below(8));
+        unsigned period = 2 + static_cast<unsigned>(rng.below(5));
+        for (unsigned p = 0; p < period; ++p)
+            s.pattern.push_back(rng.inRange(-256, 256));
+    }
+
+    // Recent global productions, newest at the end (bounded: no
+    // mirror looks back further than 8).
+    std::vector<int64_t> global;
+
+    std::vector<FuzzRecord> stream;
+    stream.reserve(cfg.records);
+    for (uint64_t n = 0; n < cfg.records; ++n) {
+        Site &s = sites[rng.below(cfg.sites)];
+        uint64_t u = static_cast<uint64_t>(s.value);
+        switch (s.behavior) {
+          case Behavior::Constant:
+            break;
+          case Behavior::Stride:
+            u += static_cast<uint64_t>(s.stride);
+            break;
+          case Behavior::Periodic:
+            u += static_cast<uint64_t>(
+                s.pattern[s.phase++ % s.pattern.size()]);
+            break;
+          case Behavior::Follower:
+          case Behavior::Mirror: {
+            unsigned lag = s.behavior == Behavior::Follower ? 1
+                                                            : s.lag;
+            if (global.size() >= lag) {
+                u = static_cast<uint64_t>(
+                        global[global.size() - lag]) +
+                    static_cast<uint64_t>(s.delta);
+            } else {
+                u += static_cast<uint64_t>(s.stride);
+            }
+            break;
+          }
+          case Behavior::Noise:
+          default:
+            u = rng.next();
+            break;
+        }
+        s.value = static_cast<int64_t>(u);
+        stream.push_back(FuzzRecord{s.pc, s.value});
+        global.push_back(s.value);
+        if (global.size() > 16)
+            global.erase(global.begin());
+    }
+    return stream;
+}
+
+std::string
+fuzzProgramSource(const FuzzProgramConfig &cfg)
+{
+    GDIFF_ASSERT(cfg.bodyOps >= 1 && cfg.iterations >= 1,
+                 "fuzz program needs a non-empty body and loop");
+    Xorshift64Star rng(cfg.seed);
+
+    // Register roles: s0/s2 are array bases, s1 the loop counter —
+    // the body only ever writes the t0..t7 temporaries, so the loop
+    // always terminates.
+    static const char *const temps[] = {"t0", "t1", "t2", "t3",
+                                        "t4", "t5", "t6", "t7"};
+    constexpr unsigned numTemps = 8;
+    auto temp = [&]() { return temps[rng.below(numTemps)]; };
+    auto base = [&]() { return rng.chancePercent(50) ? "s0" : "s2"; };
+
+    std::string src;
+    src += "# fuzzed program, seed " + std::to_string(cfg.seed) + "\n";
+    src += ".reg s0 0x100000\n";
+    src += ".reg s2 0x200000\n";
+    src += ".reg s1 " + std::to_string(cfg.iterations) + "\n";
+    for (unsigned i = 0; i < 32; ++i) {
+        src += ".word " + std::to_string(0x100000 + 8 * i) + " " +
+               std::to_string(rng.inRange(-1'000'000, 1'000'000)) +
+               "\n";
+    }
+
+    // Forward-branch labels waiting to be placed: name and how many
+    // more instructions until the bind point.
+    std::vector<std::pair<std::string, unsigned>> pending;
+    unsigned next_label = 0;
+    bool used_call = false;
+
+    auto place_labels = [&](std::string &out) {
+        for (auto it = pending.begin(); it != pending.end();) {
+            if (it->second == 0) {
+                out += it->first + ":\n";
+                it = pending.erase(it);
+            } else {
+                --it->second;
+                ++it;
+            }
+        }
+    };
+
+    src += "loop:\n";
+    for (unsigned op = 0; op < cfg.bodyOps; ++op) {
+        place_labels(src);
+        std::string line = "    ";
+        switch (rng.below(10)) {
+          case 0:
+            line += std::string("addi ") + temp() + ", " + temp() +
+                    ", " + std::to_string(rng.inRange(-64, 64));
+            break;
+          case 1: {
+            static const char *const rrr[] = {"add", "sub", "mul",
+                                              "xor", "and", "or"};
+            line += std::string(rrr[rng.below(6)]) + " " + temp() +
+                    ", " + temp() + ", " + temp();
+            break;
+          }
+          case 2: {
+            static const char *const sh[] = {"slli", "srli", "srai"};
+            line += std::string(sh[rng.below(3)]) + " " + temp() +
+                    ", " + temp() + ", " +
+                    std::to_string(rng.below(64));
+            break;
+          }
+          case 3:
+            // Division is safe by construction: the executor defines
+            // x/0 and INT64_MIN/-1.
+            line += std::string(rng.chancePercent(50) ? "div" : "rem") +
+                    " " + temp() + ", " + temp() + ", " + temp();
+            break;
+          case 4:
+            line += std::string("li ") + temp() + ", " +
+                    std::to_string(rng.inRange(-100'000, 100'000));
+            break;
+          case 5:
+          case 6:
+            line += std::string("ld ") + temp() + ", " +
+                    std::to_string(8 * rng.below(64)) + "(" + base() +
+                    ")";
+            break;
+          case 7:
+            line += std::string("sd ") + temp() + ", " +
+                    std::to_string(8 * rng.below(64)) + "(" + base() +
+                    ")";
+            break;
+          case 8: {
+            // Forward branch over the next 1..4 instructions; the
+            // label is flushed before the loop tail at the latest,
+            // so the backedge counter is never skipped.
+            static const char *const br[] = {"beq", "bne", "blt",
+                                             "bge"};
+            std::string label = "fwd" + std::to_string(next_label++);
+            line += std::string(br[rng.below(4)]) + " " + temp() +
+                    ", " + temp() + ", " + label;
+            pending.emplace_back(label,
+                                 static_cast<unsigned>(rng.below(4)));
+            break;
+          }
+          case 9:
+            if (rng.chancePercent(40)) {
+                line += "jal ra, fn";
+                used_call = true;
+            } else {
+                line += std::string("mov ") + temp() + ", " + temp();
+            }
+            break;
+        }
+        src += line + "\n";
+    }
+    // Bind whatever forward labels remain to the loop tail: the
+    // branches just skip to the backedge.
+    for (auto &p : pending)
+        src += p.first + ":\n";
+    src += "    addi s1, s1, -1\n";
+    src += "    bne s1, zero, loop\n";
+    src += "    halt\n";
+    if (used_call) {
+        src += "fn:\n";
+        src += "    addi t0, t0, 7\n";
+        src += "    jr ra\n";
+    }
+    return src;
+}
+
+workload::Workload
+fuzzProgram(const FuzzProgramConfig &cfg)
+{
+    return workload::assembleWorkload(
+        fuzzProgramSource(cfg),
+        "fuzz" + std::to_string(cfg.seed));
+}
+
+} // namespace check
+} // namespace gdiff

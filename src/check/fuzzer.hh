@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Seeded, deterministic fuzz-input generation for the check
+ * subsystem. Two generators:
+ *
+ *  - fuzzValueStream(): a raw (pc, value) stream mixing the locality
+ *    classes the predictors care about — constants, strides, periodic
+ *    stride patterns, globally correlated followers (the paper's
+ *    global stride locality), and pure noise — with occasional values
+ *    near the int64 boundaries to stress wrapping arithmetic.
+ *
+ *  - fuzzProgram(): a random-but-valid synthetic-ISA program, emitted
+ *    as assembler *text* and run through workload/assembler, so every
+ *    fuzz case also exercises the text assembler. Programs are a
+ *    counted outer loop around a random straight-line body with
+ *    forward branches and an optional call/return pair; they always
+ *    terminate, and any memory address is legal against the sparse
+ *    Memory model.
+ *
+ * All randomness flows through util/random.hh's Xorshift64Star, so a
+ * (seed, config) pair reproduces the exact same inputs on any host.
+ */
+
+#ifndef GDIFF_CHECK_FUZZER_HH
+#define GDIFF_CHECK_FUZZER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/differ.hh"
+#include "workload/workload.hh"
+
+namespace gdiff {
+namespace check {
+
+/** Parameters of a fuzzed value stream. */
+struct FuzzStreamConfig
+{
+    uint64_t seed = 1;
+    uint64_t records = 10'000;
+    /// static value-producing sites (PCs) in the stream
+    unsigned sites = 24;
+    /// percent of sites that produce values near the int64 edges,
+    /// stressing two's-complement wrap in stride arithmetic
+    unsigned wideValuePercent = 25;
+};
+
+/** Generate a deterministic fuzzed (pc, value) stream. */
+std::vector<FuzzRecord> fuzzValueStream(const FuzzStreamConfig &cfg);
+
+/** Parameters of a fuzzed synthetic-ISA program. */
+struct FuzzProgramConfig
+{
+    uint64_t seed = 1;
+    /// random instructions per loop body
+    unsigned bodyOps = 48;
+    /// outer-loop trip count (bounds execution length)
+    unsigned iterations = 400;
+};
+
+/** Generate the assembler source text of a random valid program. */
+std::string fuzzProgramSource(const FuzzProgramConfig &cfg);
+
+/**
+ * Generate a random valid program and assemble it into a runnable
+ * workload (initial registers included).
+ */
+workload::Workload fuzzProgram(const FuzzProgramConfig &cfg);
+
+} // namespace check
+} // namespace gdiff
+
+#endif // GDIFF_CHECK_FUZZER_HH

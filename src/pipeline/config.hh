@@ -17,6 +17,26 @@
 namespace gdiff {
 namespace pipeline {
 
+/**
+ * Runtime invariant checking (the pipeline half of the src/check/
+ * differential-testing subsystem).
+ *
+ * When enabled, the timing model runs a second, independent set of
+ * books — an explicit ROB window, retire-bandwidth counters, per-cycle
+ * issue counts — and cross-checks them against the cycle numbers the
+ * model computes. Violations are counted and the first few described
+ * in PipelineStats::checkReports.
+ */
+struct CheckConfig
+{
+    /// enable per-instruction pipeline invariant checks (slower)
+    bool enabled = false;
+    /// panic() on the first violation instead of recording it
+    bool failFast = false;
+    /// cap on stored violation report strings
+    unsigned maxReports = 16;
+};
+
 /** Machine parameters, defaulted to the paper's Table 1. */
 struct PipelineConfig
 {
@@ -52,6 +72,9 @@ struct PipelineConfig
     size_t btbEntries = 2048;
     /// return address stack depth
     unsigned rasDepth = 16;
+
+    /// invariant checking (off by default: zero-cost for normal runs)
+    CheckConfig check;
 
     /** @return the paper's Table 1 configuration. */
     static PipelineConfig

@@ -1,6 +1,8 @@
 #include "pipeline/ooo_model.hh"
 
 #include <algorithm>
+#include <cinttypes>
+#include <deque>
 #include <memory>
 
 #include "util/logging.hh"
@@ -90,6 +92,23 @@ OooPipeline::run(workload::TraceSource &src, uint64_t max_instructions,
     uint64_t last_cycle = 0;
     uint64_t budget = warmup + max_instructions;
 
+    // ---- invariant checker (cfg.check.enabled): a second set of
+    // books, kept with independent structures and cross-checked
+    // against the cycle numbers the model computes ----------------
+    const CheckConfig &chk = cfg.check;
+    std::deque<uint64_t> chkRobWindow; // retire cycles, oldest first
+    uint64_t chkPrevRetire = 0;        // in-order retire watermark
+    uint64_t chkRetireCycle = 0;       // current retire cycle...
+    unsigned chkRetireCount = 0;       // ...and retires charged to it
+    std::unordered_map<uint64_t, unsigned> chkIssuePerCycle;
+    auto violate = [&](const std::string &msg) {
+        ++stats.checkViolations;
+        if (stats.checkReports.size() < chk.maxReports)
+            stats.checkReports.push_back(msg);
+        if (chk.failFast)
+            panic("pipeline invariant violated: %s", msg.c_str());
+    };
+
     auto scratch = std::make_unique<workload::TraceChunk>();
     while (seq < budget) {
       const workload::TraceChunk *chunk = src.fillRef(*scratch);
@@ -132,6 +151,18 @@ OooPipeline::run(workload::TraceSource &src, uint64_t max_instructions,
             dispatched_in_cycle = 0;
         }
         ++dispatched_in_cycle;
+
+        if (chk.enabled && chkRobWindow.size() >= cfg.robSize &&
+            dispatch_cycle < chkRobWindow.front()) {
+            // The ROB holds at most robSize instructions: seq cannot
+            // dispatch before seq - robSize has retired.
+            violate(formatString(
+                "ROB occupancy exceeded: seq %" PRIu64
+                " dispatches at cycle %" PRIu64 " but seq %" PRIu64
+                " only retires at cycle %" PRIu64,
+                seq, dispatch_cycle, seq - cfg.robSize,
+                chkRobWindow.front()));
+        }
 
         // ---- writebacks that architecturally precede this dispatch ----
         drainWritebacksBefore(dispatch_cycle, stats);
@@ -180,6 +211,41 @@ OooPipeline::run(workload::TraceSource &src, uint64_t max_instructions,
         }
         uint64_t complete_cycle = issue_cycle + latency;
 
+        if (chk.enabled) {
+            if (issue_cycle <= dispatch_cycle) {
+                violate(formatString(
+                    "issue before dispatch: seq %" PRIu64
+                    " issues at cycle %" PRIu64
+                    " but dispatches at cycle %" PRIu64,
+                    seq, issue_cycle, dispatch_cycle));
+            }
+            if (complete_cycle < issue_cycle) {
+                violate(formatString(
+                    "completion precedes issue: seq %" PRIu64
+                    " completes at cycle %" PRIu64
+                    ", issues at cycle %" PRIu64,
+                    seq, complete_cycle, issue_cycle));
+            }
+            // Independent issue-bandwidth books: the ring in
+            // allocateIssueSlot must never oversubscribe a cycle.
+            if (++chkIssuePerCycle[issue_cycle] > cfg.issueWidth) {
+                violate(formatString(
+                    "issue width exceeded at cycle %" PRIu64
+                    " (seq %" PRIu64 ")",
+                    issue_cycle, seq));
+            }
+            if ((seq & 0xfff) == 0) {
+                // Dispatch is non-decreasing and issue follows it, so
+                // cycles before the current dispatch are settled.
+                for (auto it = chkIssuePerCycle.begin();
+                     it != chkIssuePerCycle.end();) {
+                    it = it->first < dispatch_cycle
+                             ? chkIssuePerCycle.erase(it)
+                             : std::next(it);
+                }
+            }
+        }
+
         // ---- control flow ------------------------------------------------
         if (r.isControl() || r.isCondBranch()) {
             bool correct = bpred.predictAndTrain(r);
@@ -207,6 +273,19 @@ OooPipeline::run(workload::TraceSource &src, uint64_t max_instructions,
                            : complete_cycle + 1;    // selective reissue
             }
             regReadySpec[r.inst.rd] = spec;
+
+            if (chk.enabled && decision.confident &&
+                decision.value != r.value && spec <= complete_cycle) {
+                // Selective reissue: a consumer must never see the
+                // mispredicted value as ready before the producer's
+                // real execution has completed.
+                violate(formatString(
+                    "value misprediction leak: seq %" PRIu64
+                    " pc 0x%" PRIx64 " marks r%u ready at cycle %"
+                    PRIu64 " but completes at cycle %" PRIu64,
+                    seq, r.pc, static_cast<unsigned>(r.inst.rd),
+                    spec, complete_cycle));
+            }
         }
         if (r.isStore())
             memReady[r.effAddr] = complete_cycle;
@@ -224,6 +303,38 @@ OooPipeline::run(workload::TraceSource &src, uint64_t max_instructions,
         }
         ++retired_in_cycle;
         robRetire[seq % cfg.robSize] = retire_cycle;
+
+        if (chk.enabled) {
+            if (retire_cycle < chkPrevRetire) {
+                violate(formatString(
+                    "out-of-order retire: seq %" PRIu64
+                    " retires at cycle %" PRIu64
+                    " before its predecessor's cycle %" PRIu64,
+                    seq, retire_cycle, chkPrevRetire));
+            }
+            if (retire_cycle <= complete_cycle) {
+                violate(formatString(
+                    "retire before completion: seq %" PRIu64
+                    " retires at cycle %" PRIu64
+                    ", completes at cycle %" PRIu64,
+                    seq, retire_cycle, complete_cycle));
+            }
+            // Independent retire-bandwidth books.
+            if (retire_cycle != chkRetireCycle) {
+                chkRetireCycle = retire_cycle;
+                chkRetireCount = 0;
+            }
+            if (++chkRetireCount > cfg.retireWidth) {
+                violate(formatString(
+                    "retire width exceeded at cycle %" PRIu64
+                    " (seq %" PRIu64 ")",
+                    retire_cycle, seq));
+            }
+            chkPrevRetire = retire_cycle;
+            chkRobWindow.push_back(retire_cycle);
+            if (chkRobWindow.size() > cfg.robSize)
+                chkRobWindow.pop_front();
+        }
 
         // ---- predictor writeback event ------------------------------------
         if (produces) {
@@ -264,6 +375,12 @@ OooPipeline::run(workload::TraceSource &src, uint64_t max_instructions,
                        : 1;
     stats.ipc = static_cast<double>(stats.instructions) /
                 static_cast<double>(stats.cycles);
+    if (chk.enabled && measured > 0 &&
+        stats.ipc > static_cast<double>(cfg.retireWidth) + 1e-9) {
+        violate(formatString(
+            "IPC %.4f exceeds retire width %u", stats.ipc,
+            cfg.retireWidth));
+    }
     stats.dcacheMissRate = dcache.missRate();
     stats.icacheMissRate = icache.missRate();
     stats.branchAccuracy = bpred.overallAccuracy().value();

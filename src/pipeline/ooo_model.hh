@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <queue>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -69,6 +70,12 @@ struct PipelineStats
     /// copied from the scheme after the run
     stats::Ratio coverage;
     stats::Ratio gatedAccuracy;
+
+    /// @name Invariant checker results (cfg.check.enabled only)
+    /// @{
+    uint64_t checkViolations = 0;            ///< total violations
+    std::vector<std::string> checkReports;   ///< first maxReports
+    /// @}
 };
 
 /** The timing model. */

@@ -25,12 +25,53 @@ jsonEscape(const std::string &s)
     std::string out;
     out.reserve(s.size());
     for (char c : s) {
-        if (c == '"' || c == '\\')
-            out += '\\';
-        if (static_cast<unsigned char>(c) < 0x20)
-            c = ' ';
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned char>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+            break;
+        }
+    }
+    return out;
+}
+
+/**
+ * RFC 4180 CSV field: quoted (with inner quotes doubled) whenever the
+ * text contains a separator, quote, or line break.
+ */
+std::string
+csvField(const std::string &s)
+{
+    if (s.find_first_of(",\"\n\r") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"')
+            out += '"';
         out += c;
     }
+    out += '"';
     return out;
 }
 
@@ -129,7 +170,7 @@ CsvSink::finish()
     if (!recs.empty())
         for (const auto &[name, value] : recs.front().result.metrics) {
             (void)value;
-            std::fprintf(file, ",%s", name.c_str());
+            std::fprintf(file, ",%s", csvField(name).c_str());
         }
     std::fprintf(file, ",wall_seconds,instructions_per_sec,"
                        "trace_source,trace_generate_seconds\n");
@@ -138,11 +179,14 @@ CsvSink::finish()
         std::fprintf(file,
                      "%zu,%s,%s,%s,%s,%u,%" PRIu64 ",%" PRIu64
                      ",%" PRIu64 ",%" PRIu64,
-                     r.index, s.workload.c_str(), jobModeName(s.mode),
-                     s.mode == JobMode::Profile ? s.predictor.c_str()
-                                                : "",
-                     s.mode == JobMode::Pipeline ? s.scheme.c_str()
-                                                 : "",
+                     r.index, csvField(s.workload).c_str(),
+                     jobModeName(s.mode),
+                     s.mode == JobMode::Profile
+                         ? csvField(s.predictor).c_str()
+                         : "",
+                     s.mode == JobMode::Pipeline
+                         ? csvField(s.scheme).c_str()
+                         : "",
                      s.order, s.tableEntries, s.seed, s.instructions,
                      s.warmup);
         for (const auto &[name, value] : recs.front().result.metrics) {

@@ -9,6 +9,29 @@
 namespace gdiff {
 namespace stats {
 
+namespace {
+
+/**
+ * RFC 4180 field quoting: wrap in double quotes when the field
+ * contains a separator, quote, or line break, doubling inner quotes.
+ */
+std::string
+csvField(const std::string &s)
+{
+    if (s.find_first_of(",\"\n\r") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+} // anonymous namespace
+
 Table::Table(std::string title, std::string row_label)
     : title(std::move(title)), rowLabelHeader(std::move(row_label))
 {
@@ -115,14 +138,14 @@ Table::print(std::ostream &os) const
 void
 Table::printCsv(std::ostream &os) const
 {
-    os << rowLabelHeader;
+    os << csvField(rowLabelHeader);
     for (const auto &c : columns)
-        os << ',' << c;
+        os << ',' << csvField(c);
     os << '\n';
     for (const auto &r : rows) {
-        os << r.label;
+        os << csvField(r.label);
         for (const auto &c : r.cells)
-            os << ',' << c;
+            os << ',' << csvField(c);
         os << '\n';
     }
 }

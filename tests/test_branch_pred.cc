@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Direct unit tests for the front-end branch predictor: gshare
+ * saturating-counter training, history-driven pattern learning,
+ * aliasing behaviour pinned by a from-the-spec reference model, and
+ * the call/return RAS.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "pipeline/branch_pred.hh"
+#include "util/bits.hh"
+#include "util/random.hh"
+#include "workload/trace.hh"
+
+namespace gdiff {
+namespace pipeline {
+namespace {
+
+workload::TraceRecord
+condBranch(uint64_t pc, bool taken)
+{
+    workload::TraceRecord r;
+    r.inst.op = isa::Opcode::Beq;
+    r.pc = pc;
+    r.nextPc = taken ? pc + 64 : pc + isa::instBytes;
+    r.taken = taken;
+    return r;
+}
+
+TEST(GshareTest, SaturatingCountersTrainOnAlwaysTaken)
+{
+    BranchPredictor bp((PipelineConfig()));
+    // Counters power up weakly-not-taken (1), so the very first
+    // always-taken branch mispredicts...
+    EXPECT_FALSE(bp.predictAndTrain(condBranch(0x400100, true)));
+    // ...and once the history register saturates at all-ones the
+    // index is stable and the counter trains to strongly-taken:
+    // the tail of the run must be misprediction-free.
+    for (int i = 0; i < 100; ++i)
+        bp.predictAndTrain(condBranch(0x400100, true));
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_TRUE(bp.predictAndTrain(condBranch(0x400100, true)))
+            << "iteration " << i;
+    }
+}
+
+TEST(GshareTest, AlwaysNotTakenIsPredictedFromTheStart)
+{
+    // Weakly-not-taken initialization plus a zero history (shifting
+    // in zeros keeps the index fixed) means a never-taken branch
+    // never mispredicts.
+    BranchPredictor bp((PipelineConfig()));
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_TRUE(bp.predictAndTrain(condBranch(0x400200, false)))
+            << "iteration " << i;
+    }
+}
+
+TEST(GshareTest, HistoryDisambiguatesAlternatingPattern)
+{
+    // T,N,T,N,... defeats a per-PC bimodal counter (it hovers
+    // between states) but is trivial for gshare: the two history
+    // contexts map to two different counters. The tail of the run
+    // must be perfect.
+    BranchPredictor bp((PipelineConfig()));
+    for (int i = 0; i < 200; ++i)
+        bp.predictAndTrain(condBranch(0x400300, i % 2 == 0));
+    for (int i = 200; i < 400; ++i) {
+        EXPECT_TRUE(
+            bp.predictAndTrain(condBranch(0x400300, i % 2 == 0)))
+            << "iteration " << i;
+    }
+}
+
+TEST(GshareTest, MatchesReferenceModelUnderAliasing)
+{
+    // A tiny 4-bit gshare (16 counters) shared by 32 branch sites
+    // aliases heavily; the production predictor must still track the
+    // documented algorithm outcome-for-outcome. The reference below
+    // is a straight transliteration of the spec: idx =
+    // (mix64(pc>>2) ^ history) & mask(bits), 2-bit saturating
+    // counters starting weakly-not-taken, history = shift-in-taken.
+    PipelineConfig cfg;
+    cfg.gshareHistoryBits = 4;
+    BranchPredictor bp(cfg);
+
+    std::vector<uint8_t> ref_counters(1u << 4, 1);
+    uint64_t ref_history = 0;
+    auto ref_predict_and_train = [&](uint64_t pc, bool taken) {
+        size_t idx = static_cast<size_t>(
+            (mix64(pc >> 2) ^ ref_history) & mask(4));
+        bool predict_taken = ref_counters[idx] >= 2;
+        if (taken) {
+            if (ref_counters[idx] < 3)
+                ++ref_counters[idx];
+        } else {
+            if (ref_counters[idx] > 0)
+                --ref_counters[idx];
+        }
+        ref_history = ((ref_history << 1) | (taken ? 1 : 0)) &
+                      mask(4);
+        return predict_taken == taken;
+    };
+
+    Xorshift64Star rng(2026);
+    for (int i = 0; i < 2000; ++i) {
+        uint64_t pc = 0x400000 + 4 * rng.below(32);
+        // Per-site bias keyed off the PC so sites differ.
+        bool taken = rng.below(100) < 20 + (pc >> 2) % 60;
+        EXPECT_EQ(bp.predictAndTrain(condBranch(pc, taken)),
+                  ref_predict_and_train(pc, taken))
+            << "diverged at branch " << i;
+    }
+}
+
+TEST(RasTest, CallReturnPairsPredictReturns)
+{
+    BranchPredictor bp((PipelineConfig()));
+
+    workload::TraceRecord call;
+    call.inst.op = isa::Opcode::Jal;
+    call.pc = 0x400400;
+    call.nextPc = 0x400800; // the callee
+    EXPECT_TRUE(bp.predictAndTrain(call));
+
+    workload::TraceRecord ret;
+    ret.inst.op = isa::Opcode::Jr;
+    ret.pc = 0x400810;
+    ret.nextPc = call.pc + isa::instBytes; // return site
+    EXPECT_TRUE(bp.predictAndTrain(ret));
+
+    // A second return with nothing on the stack cannot be predicted.
+    EXPECT_FALSE(bp.predictAndTrain(ret));
+}
+
+TEST(RasTest, MismatchedReturnTargetMispredicts)
+{
+    BranchPredictor bp((PipelineConfig()));
+    workload::TraceRecord call;
+    call.inst.op = isa::Opcode::Jal;
+    call.pc = 0x400400;
+    call.nextPc = 0x400800;
+    bp.predictAndTrain(call);
+
+    workload::TraceRecord ret;
+    ret.inst.op = isa::Opcode::Jr;
+    ret.pc = 0x400810;
+    ret.nextPc = 0x999999; // not the pushed return address
+    EXPECT_FALSE(bp.predictAndTrain(ret));
+}
+
+TEST(BtbTest, IndirectCallLearnsLastTarget)
+{
+    BranchPredictor bp((PipelineConfig()));
+    workload::TraceRecord jalr;
+    jalr.inst.op = isa::Opcode::Jalr;
+    jalr.pc = 0x400500;
+    jalr.nextPc = 0x401000;
+    // Cold BTB: first encounter mispredicts, repeats hit.
+    EXPECT_FALSE(bp.predictAndTrain(jalr));
+    EXPECT_TRUE(bp.predictAndTrain(jalr));
+    // Target change: one miss, then learned again.
+    jalr.nextPc = 0x402000;
+    EXPECT_FALSE(bp.predictAndTrain(jalr));
+    EXPECT_TRUE(bp.predictAndTrain(jalr));
+}
+
+} // namespace
+} // namespace pipeline
+} // namespace gdiff

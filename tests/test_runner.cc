@@ -19,6 +19,7 @@
 
 #include "runner/factory.hh"
 #include "runner/runner.hh"
+#include "stats/table.hh"
 #include "util/parse.hh"
 
 namespace gdiff {
@@ -408,6 +409,106 @@ TEST(SinkTest, JsonlAppendModeAccumulates)
         ++lines;
     EXPECT_EQ(lines, 2u);
     std::remove(path.c_str());
+}
+
+// --------------------------------------------- sink robustness
+// Labels and metric names can contain CSV/JSON metacharacters (a
+// workload named "a,b" or a metric with a quote); the sinks must
+// stay parseable.
+
+TEST(SinkRobustnessTest, JsonlEscapesQuotesBackslashesAndControls)
+{
+    std::string path = tempPath("escape.jsonl");
+    JobRecord rec;
+    rec.index = 0;
+    rec.spec = JobSpec{};
+    rec.spec.workload = "we\"ird\\name\nwith,stuff\ttab";
+    rec.result.metrics = {{"acc\"ur,acy", 0.5}};
+    {
+        JsonlSink sink(path);
+        sink.onJob(rec);
+        sink.finish();
+    }
+    std::ifstream in(path);
+    std::string line, extra;
+    ASSERT_TRUE(std::getline(in, line));
+    // The embedded newline must be escaped: exactly one physical
+    // line in the file.
+    EXPECT_FALSE(std::getline(in, extra)) << extra;
+    EXPECT_NE(line.find("we\\\"ird\\\\name\\nwith,stuff\\ttab"),
+              std::string::npos)
+        << line;
+    EXPECT_NE(line.find("acc\\\"ur,acy"), std::string::npos) << line;
+    std::remove(path.c_str());
+}
+
+TEST(SinkRobustnessTest, CsvQuotesSeparatorsQuotesAndNewlines)
+{
+    std::string path = tempPath("quoting.csv");
+    JobRecord rec;
+    rec.index = 0;
+    rec.spec = JobSpec{};
+    rec.spec.mode = JobMode::Profile;
+    rec.spec.workload = "evil \"quoted\",name";
+    rec.spec.predictor = "str,ide";
+    rec.result.metrics = {{"metric,with\"meta", 1.0}};
+    {
+        CsvSink sink(path);
+        sink.onJob(rec);
+        sink.finish();
+    }
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    std::string text = ss.str();
+    // RFC 4180: fields wrapped in quotes, inner quotes doubled.
+    EXPECT_NE(text.find("\"evil \"\"quoted\"\",name\""),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("\"str,ide\""), std::string::npos) << text;
+    EXPECT_NE(text.find("\"metric,with\"\"meta\""),
+              std::string::npos)
+        << text;
+    std::remove(path.c_str());
+}
+
+TEST(SinkRobustnessTest, CsvLeavesPlainFieldsUnquoted)
+{
+    std::string path = tempPath("plain.csv");
+    JobRecord rec;
+    rec.index = 0;
+    rec.spec = JobSpec{};
+    rec.spec.mode = JobMode::Profile;
+    rec.spec.workload = "mcf";
+    rec.spec.predictor = "gdiff";
+    rec.result.metrics = {{"accuracy", 0.25}};
+    {
+        CsvSink sink(path);
+        sink.onJob(rec);
+        sink.finish();
+    }
+    std::ifstream in(path);
+    std::string header, row;
+    ASSERT_TRUE(std::getline(in, header));
+    ASSERT_TRUE(std::getline(in, row));
+    EXPECT_EQ(header.find('"'), std::string::npos) << header;
+    EXPECT_EQ(row.find('"'), std::string::npos) << row;
+    EXPECT_EQ(row.rfind("0,mcf,profile,gdiff,", 0), 0u) << row;
+    std::remove(path.c_str());
+}
+
+TEST(SinkRobustnessTest, TableCsvQuotesLabelsAndCells)
+{
+    stats::Table t("robustness", "row,label");
+    t.addColumn("col\"A");
+    t.addColumn("plain");
+    t.beginRow("r1,x");
+    t.cell("va\nl");
+    t.cell("ok");
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "\"row,label\",\"col\"\"A\",plain\n"
+                        "\"r1,x\",\"va\nl\",ok\n");
 }
 
 // ----------------------------------------------------------- factory
