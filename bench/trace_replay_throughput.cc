@@ -12,7 +12,10 @@
  * speedup. With --require-speedup=N the harness exits non-zero when
  * the aggregate speedup falls below N — scripts/check.sh uses that to
  * pin the cache's reason to exist (replay must beat single-record
- * regeneration by at least 3x).
+ * regeneration by at least 3x). With --json=FILE the per-kernel rates
+ * and the aggregate speedup are additionally written as one JSON
+ * document — the CI bench job uploads these as artifacts so
+ * throughput history survives the build.
  */
 
 #include <chrono>
@@ -93,14 +96,17 @@ rate(const Run &r)
 int
 main(int argc, char **argv)
 {
-    // --require-speedup is this harness's own flag; everything else
-    // goes through the shared BenchOptions parser.
+    // --require-speedup and --json are this harness's own flags;
+    // everything else goes through the shared BenchOptions parser.
     double requireSpeedup = 0.0;
+    std::string jsonPath;
     std::vector<char *> rest = {argv[0]};
     for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], "--require-speedup=", 18) == 0)
             requireSpeedup = static_cast<double>(
                 parseU64Flag("--require-speedup", argv[i] + 18));
+        else if (std::strncmp(argv[i], "--json=", 7) == 0)
+            jsonPath = argv[i] + 7;
         else
             rest.push_back(argv[i]);
     }
@@ -125,6 +131,7 @@ main(int argc, char **argv)
     workload::TraceCache cache;
     double totalSingle = 0, totalReplay = 0;
     uint64_t sink = 0;
+    std::string jsonKernels;
     for (const auto &name : kernels) {
         auto single = workload::makeWorkload(name, o.seed).makeExecutor();
         Run s = drainSingle(*single, budget);
@@ -146,6 +153,14 @@ main(int argc, char **argv)
         t.cellDouble(rate(c) / 1e6, 2);
         t.cellDouble(rate(r) / 1e6, 2);
         t.cellDouble(r.seconds > 0 ? s.seconds / r.seconds : 0.0, 2);
+
+        char row[256];
+        std::snprintf(row, sizeof(row),
+                      "%s\"%s\":{\"single_mrps\":%.3f,"
+                      "\"chunked_mrps\":%.3f,\"replay_mrps\":%.3f}",
+                      jsonKernels.empty() ? "" : ",", name.c_str(),
+                      rate(s) / 1e6, rate(c) / 1e6, rate(r) / 1e6);
+        jsonKernels += row;
     }
     bench::emit(t, o);
 
@@ -154,6 +169,21 @@ main(int argc, char **argv)
     std::printf("aggregate replay speedup over single-record "
                 "regeneration: %.2fx (checksum %llu)\n",
                 speedup, static_cast<unsigned long long>(sink));
+    if (!jsonPath.empty()) {
+        std::FILE *jf = std::fopen(jsonPath.c_str(), "wb");
+        if (!jf) {
+            std::fprintf(stderr, "cannot create JSON file '%s'\n",
+                         jsonPath.c_str());
+            return 1;
+        }
+        std::fprintf(jf,
+                     "{\"bench\":\"trace_replay_throughput\","
+                     "\"instructions\":%llu,\"kernels\":{%s},"
+                     "\"aggregate_replay_speedup\":%.3f}\n",
+                     static_cast<unsigned long long>(budget),
+                     jsonKernels.c_str(), speedup);
+        std::fclose(jf);
+    }
     if (requireSpeedup > 0 && speedup < requireSpeedup) {
         std::fprintf(stderr,
                      "FAIL: replay speedup %.2fx below required "

@@ -24,6 +24,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/obs.hh"
+#include "obs/trace_export.hh"
 #include "runner/factory.hh"
 #include "runner/runner.hh"
 #include "util/logging.hh"
@@ -48,6 +50,8 @@ struct Options
     bool useTraceCache = true;
     size_t traceCacheBytes = 0; // 0 = keep the cache's default cap
     bool list = false;
+    std::string traceOut;   // Chrome trace-event JSON path
+    bool obsSummary = false; // print the obs stage/counter tables
 };
 
 [[noreturn]] void
@@ -75,6 +79,11 @@ usage(const char *argv0)
         "  --no-trace-cache regenerate every job's trace instead of\n"
         "                   replaying the shared cached copy\n"
         "  --trace-cache-mb=N  cap the shared trace cache at N MiB\n"
+        "  --trace-out=FILE write a Chrome trace-event JSON timeline\n"
+        "                   of the sweep (load in Perfetto or\n"
+        "                   chrome://tracing)\n"
+        "  --obs-summary    print per-stage timing and counter tables\n"
+        "                   after the sweep\n"
         "  --list           print registered workloads, predictors\n"
         "                   and schemes, then exit\n"
         "workloads:",
@@ -139,6 +148,9 @@ parse(int argc, char **argv)
                 static_cast<size_t>(
                     parseU64Flag("--trace-cache-mb", v.c_str(), true)) *
                 (size_t(1) << 20);
+        } else if (take("--trace-out", o.traceOut)) {
+        } else if (a == "--obs-summary") {
+            o.obsSummary = true;
         } else if (a == "--no-table") {
             o.noTable = true;
         } else if (a == "--no-trace-cache") {
@@ -163,6 +175,23 @@ main(int argc, char **argv)
     if (o.list) {
         printRegistry();
         return 0;
+    }
+
+    // Instrumentation is opt-in: either obs flag switches the runtime
+    // gate on for the whole sweep. Validate the trace path before any
+    // simulation runs so a typo'd directory fails in milliseconds, not
+    // after the sweep.
+    if (!o.traceOut.empty() || o.obsSummary) {
+        if (!GDIFF_OBS_ENABLED)
+            warn("observability was compiled out (GDIFF_OBS=OFF); "
+                 "--trace-out/--obs-summary will report nothing");
+        obs::setEnabled(true);
+    }
+    if (!o.traceOut.empty()) {
+        std::FILE *probe = std::fopen(o.traceOut.c_str(), "wb");
+        if (!probe)
+            fatal("cannot create trace file '%s'", o.traceOut.c_str());
+        std::fclose(probe);
     }
 
     runner::SweepSpec spec = runner::SweepSpec::parseGrid(o.grid);
@@ -209,5 +238,18 @@ main(int argc, char **argv)
                      "%zu replayed\n",
                      s.generatedTraces, s.generateSeconds,
                      s.replayedJobs);
+
+    if (!o.traceOut.empty() || o.obsSummary) {
+        obs::Snapshot snap = obs::snapshot();
+        if (o.obsSummary)
+            obs::printSummary(std::cout, snap);
+        if (!o.traceOut.empty()) {
+            if (!obs::writeChromeTrace(o.traceOut, snap))
+                return 1;
+            std::fprintf(stderr,
+                         "gdiffrun: wrote %zu trace spans to %s\n",
+                         snap.spans.size(), o.traceOut.c_str());
+        }
+    }
     return 0;
 }

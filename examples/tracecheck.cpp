@@ -1,0 +1,132 @@
+/**
+ * @file
+ * tracecheck — structural validator for Chrome trace-event JSON files
+ * produced by `gdiffrun --trace-out` (src/obs/trace_export).
+ *
+ *   tracecheck sweep_trace.json --min-spans=5
+ *
+ * Checks, in order:
+ *  - the file parses as one JSON object with a "traceEvents" array;
+ *  - every event carries name/ph/pid/tid, and complete ("X") events
+ *    carry non-negative ts/dur;
+ *  - every "job" span is annotated with the job identity ("job") and
+ *    how the trace cache served it ("trace": replay or generate);
+ *  - at least --min-spans complete events exist (default 1).
+ *
+ * Exit status 0 with a one-line summary on success; 1 with the first
+ * failure's reason otherwise. The CLI contract tests run this against
+ * a fresh sweep's output, and it doubles as a debugging aid whenever
+ * Perfetto refuses a file.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "util/json.hh"
+#include "util/parse.hh"
+
+using namespace gdiff;
+
+namespace {
+
+int
+fail(const std::string &path, const std::string &why)
+{
+    std::fprintf(stderr, "tracecheck: %s: %s\n", path.c_str(),
+                 why.c_str());
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string path;
+    uint64_t minSpans = 1;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a.rfind("--min-spans=", 0) == 0) {
+            minSpans = parseU64Flag("--min-spans",
+                                    a.c_str() + 12, true);
+        } else if (!a.empty() && a[0] != '-' && path.empty()) {
+            path = a;
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s FILE [--min-spans=N]\n", argv[0]);
+            return 2;
+        }
+    }
+    if (path.empty()) {
+        std::fprintf(stderr, "usage: %s FILE [--min-spans=N]\n",
+                     argv[0]);
+        return 2;
+    }
+
+    std::ifstream is(path);
+    if (!is.good())
+        return fail(path, "cannot open file");
+    std::stringstream ss;
+    ss << is.rdbuf();
+
+    json::Value root;
+    std::string error;
+    if (!json::parse(ss.str(), root, &error))
+        return fail(path, "not valid JSON: " + error);
+    if (!root.isObject())
+        return fail(path, "root is not a JSON object");
+    const json::Value *events = root.find("traceEvents");
+    if (!events || !events->isArray())
+        return fail(path, "missing \"traceEvents\" array");
+
+    uint64_t spans = 0;
+    std::set<double> tids;
+    for (size_t i = 0; i < events->array.size(); ++i) {
+        const json::Value &ev = events->array[i];
+        std::string where = "event " + std::to_string(i);
+        for (const char *key : {"name", "ph", "pid", "tid"})
+            if (!ev.find(key))
+                return fail(path, where + " lacks \"" + key + "\"");
+        const std::string &ph = ev.at("ph").asString();
+        if (ph != "X") {
+            if (ph != "M" && ph != "i")
+                return fail(path,
+                            where + " has unknown phase '" + ph + "'");
+            continue;
+        }
+        ++spans;
+        tids.insert(ev.at("tid").asNumber());
+        const json::Value *ts = ev.find("ts");
+        const json::Value *dur = ev.find("dur");
+        if (!ts || !ts->isNumber() || ts->asNumber() < 0)
+            return fail(path, where + " lacks a non-negative ts");
+        if (!dur || !dur->isNumber() || dur->asNumber() < 0)
+            return fail(path, where + " lacks a non-negative dur");
+        if (ev.at("name").asString() == "job") {
+            const json::Value *args = ev.find("args");
+            if (!args || !args->find("job"))
+                return fail(path, where +
+                                      " (a job span) lacks the job "
+                                      "identity in args");
+            const json::Value *trace = args->find("trace");
+            if (!trace || (trace->asString() != "replay" &&
+                           trace->asString() != "generate"))
+                return fail(path,
+                            where + " (a job span) lacks the "
+                                    "replay/generate annotation");
+        }
+    }
+    if (spans < minSpans)
+        return fail(path, "only " + std::to_string(spans) +
+                              " complete spans, expected >= " +
+                              std::to_string(minSpans));
+
+    std::printf("tracecheck: %s: ok — %llu spans across %zu threads, "
+                "%zu events total\n",
+                path.c_str(), static_cast<unsigned long long>(spans),
+                tids.size(), events->array.size());
+    return 0;
+}

@@ -16,6 +16,20 @@ done
 # trace cache has lost its reason to exist.
 ./build/bench/trace_replay_throughput \
     --instructions=500000 --warmup=0 --require-speedup=3
+# The golden-number suite pins Table 2 / Fig. 19 against
+# tests/golden/; any model drift fails here with a value diff
+# (regenerate deliberately with: test_paper_golden --update-golden).
+./build/tests/test_paper_golden
+# Observability must stay near-free: enabled collection within 3% of
+# disabled on the instrumented profile loop...
+./build/bench/obs_overhead \
+    --instructions=400000 --warmup=40000 --require-overhead=3
+# ...and a parallel sweep's Chrome trace must validate structurally.
+./build/examples/gdiffrun \
+    --grid 'workload=mcf,parser;predictor=stride,gdiff' \
+    --threads=4 --instructions=100000 --warmup=20000 \
+    --no-table --trace-out=build/obs_trace.json
+./build/examples/tracecheck build/obs_trace.json --min-spans=4
 # Smoke sweep through the parallel runner: thread pool, structured
 # sinks, and manifest resume (the rerun must skip every job).
 rm -f build/smoke.jsonl build/smoke.csv build/smoke.manifest

@@ -1,0 +1,118 @@
+#include "obs/trace_export.hh"
+
+#include <cinttypes>
+#include <fstream>
+#include <set>
+
+#include "util/json.hh"
+#include "util/logging.hh"
+
+namespace gdiff {
+namespace obs {
+
+namespace {
+
+/** Timestamps: the trace format's ts/dur are microseconds; emit with
+ * nanosecond precision so sub-microsecond spans stay visible. */
+void
+emitMicros(std::ostream &os, uint64_t ns)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%03u", ns / 1000,
+                  static_cast<unsigned>(ns % 1000));
+    os << buf;
+}
+
+void
+emitArgs(std::ostream &os,
+         const std::vector<std::pair<std::string, std::string>> &args)
+{
+    os << "{";
+    bool first = true;
+    for (const auto &[key, value] : args) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << '"' << json::escape(key) << "\":\""
+           << json::escape(value) << '"';
+    }
+    os << "}";
+}
+
+} // anonymous namespace
+
+void
+writeChromeTrace(std::ostream &os, const Snapshot &snap)
+{
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    auto sep = [&] {
+        if (!first)
+            os << ",\n";
+        first = false;
+    };
+
+    // Thread-name metadata rows, one per tid that recorded a span.
+    std::set<uint32_t> tids;
+    for (const SpanEvent &ev : snap.spans)
+        tids.insert(ev.tid);
+    for (uint32_t tid : tids) {
+        sep();
+        os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+           << "\"tid\":" << tid << ",\"args\":{\"name\":\""
+           << (tid == 0 ? "main" : "worker-" + std::to_string(tid))
+           << "\"}}";
+    }
+
+    uint64_t lastNs = 0;
+    for (const SpanEvent &ev : snap.spans) {
+        sep();
+        os << "{\"name\":\"" << json::escape(ev.name)
+           << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << ev.tid
+           << ",\"ts\":";
+        emitMicros(os, ev.startNs);
+        os << ",\"dur\":";
+        emitMicros(os, ev.durNs);
+        if (!ev.args.empty()) {
+            os << ",\"args\":";
+            emitArgs(os, ev.args);
+        }
+        os << "}";
+        lastNs = std::max(lastNs, ev.startNs + ev.durNs);
+    }
+
+    // Final counter totals as one instant event, so the cache
+    // hit/miss counts ride inside the trace file too.
+    if (!snap.counters.empty()) {
+        sep();
+        os << "{\"name\":\"obs.counters\",\"ph\":\"i\",\"s\":\"g\","
+           << "\"pid\":1,\"tid\":0,\"ts\":";
+        emitMicros(os, lastNs);
+        os << ",\"args\":{";
+        bool firstArg = true;
+        for (const auto &[name, value] : snap.counters) {
+            if (!firstArg)
+                os << ",";
+            firstArg = false;
+            os << '"' << json::escape(name) << "\":" << value;
+        }
+        os << "}}";
+    }
+
+    os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+bool
+writeChromeTrace(const std::string &path, const Snapshot &snap)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os.is_open()) {
+        warn("cannot create trace file '%s'", path.c_str());
+        return false;
+    }
+    writeChromeTrace(os, snap);
+    return os.good();
+}
+
+} // namespace obs
+} // namespace gdiff

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Chrome trace-event JSON exporter for obs snapshots.
+ *
+ * The output is the Trace Event Format's JSON-object flavour
+ * ({"traceEvents": [...]}) using complete ("X") events, so a whole
+ * multi-threaded gdiffrun sweep can be opened span-by-span in
+ * Perfetto (https://ui.perfetto.dev) or chrome://tracing: one track
+ * per worker thread, one slice per job, with the trace-cache
+ * replay/generate annotation in each slice's args.
+ */
+
+#ifndef GDIFF_OBS_TRACE_EXPORT_HH
+#define GDIFF_OBS_TRACE_EXPORT_HH
+
+#include <ostream>
+#include <string>
+
+#include "obs/obs.hh"
+
+namespace gdiff {
+namespace obs {
+
+/** Serialize @p snap as Chrome trace-event JSON onto @p os. */
+void writeChromeTrace(std::ostream &os, const Snapshot &snap);
+
+/**
+ * Write @p snap as Chrome trace-event JSON to @p path.
+ * @return false (with a warn()) when the file cannot be created.
+ */
+bool writeChromeTrace(const std::string &path, const Snapshot &snap);
+
+} // namespace obs
+} // namespace gdiff
+
+#endif // GDIFF_OBS_TRACE_EXPORT_HH

@@ -5,6 +5,7 @@
 #include <deque>
 #include <memory>
 
+#include "obs/obs.hh"
 #include "util/logging.hh"
 
 namespace gdiff {
@@ -109,9 +110,23 @@ OooPipeline::run(workload::TraceSource &src, uint64_t max_instructions,
             panic("pipeline invariant violated: %s", msg.c_str());
     };
 
+    // Chunk-granularity obs split: trace delivery (fill) vs the cycle
+    // loop itself. Accumulated locally, folded into the thread
+    // registry once per run.
+    const bool obsOn = GDIFF_OBS_ENABLED && obs::enabled();
+    uint64_t obsFillNs = 0, obsSimNs = 0, obsChunks = 0, obsT = 0;
+
     auto scratch = std::make_unique<workload::TraceChunk>();
     while (seq < budget) {
+      if (obsOn)
+          obsT = obs::nowNs();
       const workload::TraceChunk *chunk = src.fillRef(*scratch);
+      if (obsOn) {
+          uint64_t t = obs::nowNs();
+          obsFillNs += t - obsT;
+          obsT = t;
+          ++obsChunks;
+      }
       if (!chunk)
           break;
       uint32_t chunk_n = static_cast<uint32_t>(
@@ -365,6 +380,14 @@ OooPipeline::run(workload::TraceSource &src, uint64_t max_instructions,
         last_cycle = std::max(last_cycle, retire_cycle);
         ++seq;
       }
+      if (obsOn)
+          obsSimNs += obs::nowNs() - obsT;
+    }
+
+    if (obsOn) {
+        obs::Registry &reg = obs::Registry::local();
+        reg.addTimer("pipeline.fill", obsFillNs, obsChunks);
+        reg.addTimer("pipeline.sim", obsSimNs, obsChunks);
     }
 
     drainWritebacksBefore(~uint64_t(0), stats);

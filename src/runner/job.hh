@@ -98,6 +98,18 @@ struct JobResult
     double traceGenerateSeconds = 0.0;
     /// @}
 
+    /// @name Obs stage breakdown (timing class; all zero unless
+    /// obs::enabled() — see src/obs/obs.hh)
+    /// @{
+    /// wall seconds draining the trace source (functional generation
+    /// on a cache miss, cursor replay on a hit)
+    double obsFillSeconds = 0.0;
+    /// wall seconds in the simulation loop proper (predictor
+    /// predict/update in profile mode, the cycle loop in pipeline
+    /// mode)
+    double obsSimSeconds = 0.0;
+    /// @}
+
     /** @return the named metric, or @p fallback if absent. */
     double metric(const std::string &name, double fallback = 0.0) const;
 };

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <memory>
 
+#include "obs/obs.hh"
 #include "pipeline/config.hh"
 #include "pipeline/ooo_model.hh"
 #include "runner/factory.hh"
@@ -118,6 +119,19 @@ runJob(const JobSpec &spec, workload::TraceCache *cache)
     spec.validate();
     auto t0 = std::chrono::steady_clock::now();
 
+    // Jobs run whole on one thread, so this thread's timer totals
+    // before/after the job delimit exactly what the job spent in each
+    // instrumented stage.
+    const bool obsOn = GDIFF_OBS_ENABLED && obs::enabled();
+    uint64_t fillNs0 = 0, simNs0 = 0;
+    if (obsOn) {
+        const obs::Registry &reg = obs::Registry::local();
+        fillNs0 = reg.timerNs("profile.fill") +
+                  reg.timerNs("pipeline.fill");
+        simNs0 = reg.timerNs("profile.sim") +
+                 reg.timerNs("pipeline.sim");
+    }
+
     // Resolve the dynamic stream: replay a shared materialized trace
     // when a cache is supplied, regenerate otherwise. Both streams
     // are record-identical, so the metrics cannot differ.
@@ -144,6 +158,19 @@ runJob(const JobSpec &spec, workload::TraceCache *cache)
     r.wallSeconds = dt.count();
     r.traceReplayed = replayed;
     r.traceGenerateSeconds = generateSeconds;
+    if (obsOn) {
+        const obs::Registry &reg = obs::Registry::local();
+        r.obsFillSeconds =
+            static_cast<double>(reg.timerNs("profile.fill") +
+                                reg.timerNs("pipeline.fill") -
+                                fillNs0) /
+            1e9;
+        r.obsSimSeconds =
+            static_cast<double>(reg.timerNs("profile.sim") +
+                                reg.timerNs("pipeline.sim") -
+                                simNs0) /
+            1e9;
+    }
     uint64_t total = spec.instructions + spec.warmup;
     r.instructionsPerSec =
         r.wallSeconds > 0 ? static_cast<double>(total) / r.wallSeconds
@@ -195,6 +222,9 @@ SweepRunner::run(const SweepOptions &options)
             cache->setMaxBytes(options.traceCacheBytes);
     }
 
+    const bool obsOn = GDIFF_OBS_ENABLED && obs::enabled();
+    GDIFF_OBS_SPAN("sweep");
+
     std::mutex sinkLock;
     ThreadPool pool(options.threads);
     pool.forEach(todo.size(), [&](size_t t) {
@@ -202,8 +232,22 @@ SweepRunner::run(const SweepOptions &options)
         // Job execution is lock-free and fully isolated (the trace
         // cache shares immutable buffers only); only result delivery
         // serialises.
+        uint64_t jobStart = obsOn ? obs::nowNs() : 0;
         JobRecord rec{index, jobList[index],
                       runJob(jobList[index], cache)};
+        if (obsOn) {
+            // One span per job on the worker's own track, annotated
+            // with the job identity and how the trace cache served it.
+            uint64_t jobEnd = obs::nowNs();
+            obs::Registry &reg = obs::Registry::local();
+            reg.addSpan("job", jobStart, jobEnd - jobStart,
+                        {{"job", rec.spec.label()},
+                         {"trace", rec.result.traceReplayed
+                                       ? "replay"
+                                       : "generate"}});
+            reg.histogram("job.ms")->record(
+                (jobEnd - jobStart) / 1'000'000);
+        }
         std::lock_guard<std::mutex> guard(sinkLock);
         for (ResultSink *sink : sinks)
             sink->onJob(rec);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cinttypes>
 
+#include "util/json.hh"
 #include "util/logging.hh"
 
 namespace gdiff {
@@ -19,41 +20,11 @@ sortByIndex(std::vector<JobRecord> &recs)
               });
 }
 
+/** Lossless JSON string escaping lives in util/json. */
 std::string
 jsonEscape(const std::string &s)
 {
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        switch (c) {
-          case '"':
-            out += "\\\"";
-            break;
-          case '\\':
-            out += "\\\\";
-            break;
-          case '\n':
-            out += "\\n";
-            break;
-          case '\r':
-            out += "\\r";
-            break;
-          case '\t':
-            out += "\\t";
-            break;
-          default:
-            if (static_cast<unsigned char>(c) < 0x20) {
-                char buf[8];
-                std::snprintf(buf, sizeof(buf), "\\u%04x",
-                              static_cast<unsigned char>(c));
-                out += buf;
-            } else {
-                out += c;
-            }
-            break;
-        }
-    }
-    return out;
+    return json::escape(s);
 }
 
 /**
@@ -173,7 +144,8 @@ CsvSink::finish()
             std::fprintf(file, ",%s", csvField(name).c_str());
         }
     std::fprintf(file, ",wall_seconds,instructions_per_sec,"
-                       "trace_source,trace_generate_seconds\n");
+                       "trace_source,trace_generate_seconds,"
+                       "obs_fill_seconds,obs_sim_seconds\n");
     for (const auto &r : recs) {
         const JobSpec &s = r.spec;
         std::fprintf(file,
@@ -194,11 +166,13 @@ CsvSink::finish()
             std::fprintf(file, ",%s",
                          jsonDouble(r.result.metric(name)).c_str());
         }
-        std::fprintf(file, ",%.3f,%.0f,%s,%.3f\n",
+        std::fprintf(file, ",%.3f,%.0f,%s,%.3f,%.3f,%.3f\n",
                      r.result.wallSeconds,
                      r.result.instructionsPerSec,
                      r.result.traceReplayed ? "replay" : "generate",
-                     r.result.traceGenerateSeconds);
+                     r.result.traceGenerateSeconds,
+                     r.result.obsFillSeconds,
+                     r.result.obsSimSeconds);
     }
     std::fclose(file);
     file = nullptr;
@@ -262,11 +236,15 @@ JsonlSink::onJob(const JobRecord &record)
                  "%s,\"wall_seconds\":%.6f,"
                  "\"instructions_per_sec\":%.0f,"
                  "\"trace_source\":\"%s\","
-                 "\"trace_generate_seconds\":%.6f}\n",
+                 "\"trace_generate_seconds\":%.6f,"
+                 "\"obs_fill_seconds\":%.6f,"
+                 "\"obs_sim_seconds\":%.6f}\n",
                  det.c_str(), record.result.wallSeconds,
                  record.result.instructionsPerSec,
                  record.result.traceReplayed ? "replay" : "generate",
-                 record.result.traceGenerateSeconds);
+                 record.result.traceGenerateSeconds,
+                 record.result.obsFillSeconds,
+                 record.result.obsSimSeconds);
     std::fflush(file);
 }
 

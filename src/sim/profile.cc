@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "obs/obs.hh"
 #include "util/logging.hh"
 
 namespace gdiff {
@@ -48,8 +49,22 @@ ValueProfileRunner::run(workload::TraceSource &src)
     uint64_t executed = 0;
     uint64_t budget = cfg.warmupInstructions + cfg.maxInstructions;
     auto scratch = std::make_unique<workload::TraceChunk>();
+    // Chunk-granularity stage split: fill (trace delivery, which is
+    // functional generation on a cache miss and a cursor walk on a
+    // hit) vs the predict/update loop. Local accumulation, one
+    // registry call at the end — see obs.hh's overhead rules.
+    const bool obsOn = GDIFF_OBS_ENABLED && obs::enabled();
+    uint64_t fillNs = 0, simNs = 0, chunks = 0, tStage = 0;
     while (executed < budget) {
+        if (obsOn)
+            tStage = obs::nowNs();
         const workload::TraceChunk *chunk = src.fillRef(*scratch);
+        if (obsOn) {
+            uint64_t t = obs::nowNs();
+            fillNs += t - tStage;
+            tStage = t;
+            ++chunks;
+        }
         if (!chunk)
             break;
         uint32_t n = static_cast<uint32_t>(
@@ -77,6 +92,13 @@ ValueProfileRunner::run(workload::TraceSource &src)
                 preds[i]->update(pc, value);
             }
         }
+        if (obsOn)
+            simNs += obs::nowNs() - tStage;
+    }
+    if (obsOn) {
+        obs::Registry &reg = obs::Registry::local();
+        reg.addTimer("profile.fill", fillNs, chunks);
+        reg.addTimer("profile.sim", simNs, chunks);
     }
 }
 
@@ -118,8 +140,18 @@ AddressProfileRunner::run(workload::TraceSource &src)
     uint64_t executed = 0;
     uint64_t budget = cfg.warmupInstructions + cfg.maxInstructions;
     auto scratch = std::make_unique<workload::TraceChunk>();
+    const bool obsOn = GDIFF_OBS_ENABLED && obs::enabled();
+    uint64_t fillNs = 0, simNs = 0, chunks = 0, tStage = 0;
     while (executed < budget) {
+        if (obsOn)
+            tStage = obs::nowNs();
         const workload::TraceChunk *chunk = src.fillRef(*scratch);
+        if (obsOn) {
+            uint64_t t = obs::nowNs();
+            fillNs += t - tStage;
+            tStage = t;
+            ++chunks;
+        }
         if (!chunk)
             break;
         uint32_t n = static_cast<uint32_t>(
@@ -185,6 +217,13 @@ AddressProfileRunner::run(workload::TraceSource &src)
                 }
             }
         }
+        if (obsOn)
+            simNs += obs::nowNs() - tStage;
+    }
+    if (obsOn) {
+        obs::Registry &reg = obs::Registry::local();
+        reg.addTimer("profile.fill", fillNs, chunks);
+        reg.addTimer("profile.sim", simNs, chunks);
     }
 }
 

@@ -1,5 +1,8 @@
 #include "histogram.hh"
 
+#include <algorithm>
+#include <cmath>
+
 #include "util/logging.hh"
 
 namespace gdiff {
@@ -45,6 +48,45 @@ Histogram::mean() const
 {
     return sampleCount == 0 ? 0.0
                             : sum / static_cast<double>(sampleCount);
+}
+
+uint64_t
+Histogram::percentile(double p) const
+{
+    GDIFF_ASSERT(p >= 0.0 && p <= 1.0,
+                 "percentile %f outside [0,1]", p);
+    if (sampleCount == 0)
+        return 0;
+    // Smallest bucket whose cumulative count reaches p of the total;
+    // ceil() keeps p=0 meaningful (the smallest recorded sample's
+    // bucket) without rounding surprises for tiny sample counts.
+    uint64_t need = static_cast<uint64_t>(
+        std::ceil(p * static_cast<double>(sampleCount)));
+    if (need == 0)
+        need = 1;
+    uint64_t seen = 0;
+    for (size_t b = 0; b < counts.size(); ++b) {
+        seen += counts[b];
+        if (seen >= need)
+            return b;
+    }
+    // The requested mass sits in the overflow bucket; the best bound
+    // we kept is the largest sample observed.
+    return maxSeen;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    GDIFF_ASSERT(counts.size() == other.counts.size(),
+                 "merging histograms with %zu vs %zu buckets",
+                 counts.size(), other.counts.size());
+    for (size_t b = 0; b < counts.size(); ++b)
+        counts[b] += other.counts[b];
+    overflowCount += other.overflowCount;
+    sampleCount += other.sampleCount;
+    sum += other.sum;
+    maxSeen = std::max(maxSeen, other.maxSeen);
 }
 
 void

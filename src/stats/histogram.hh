@@ -49,6 +49,21 @@ class Histogram
     /** @return the largest sample seen so far (0 if none). */
     uint64_t maxSample() const { return maxSeen; }
 
+    /**
+     * @return the smallest sample value v such that at least
+     * @p p (in [0,1]) of all recorded samples are <= v. Samples that
+     * landed in the overflow bucket report maxSample(). An empty
+     * histogram reports 0.
+     */
+    uint64_t percentile(double p) const;
+
+    /**
+     * Fold @p other into this histogram. The two must have the same
+     * bucket count (panics otherwise); the obs layer relies on this
+     * to merge per-thread histograms at snapshot time.
+     */
+    void merge(const Histogram &other);
+
     /** Reset all buckets. */
     void reset();
 

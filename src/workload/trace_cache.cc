@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "obs/obs.hh"
 #include "util/logging.hh"
 #include "workload/workload.hh"
 
@@ -101,6 +102,7 @@ TraceCache::acquire(const std::string &workload, uint64_t seed,
         auto it = entries.find(key);
         if (it != entries.end()) {
             ++counters.hits;
+            GDIFF_OBS_COUNT("trace_cache.hit", 1);
             if (it->second.bytes > 0) {
                 // Finished entry: refresh its LRU position.
                 lru.erase(it->second.lruPos);
@@ -120,9 +122,16 @@ TraceCache::acquire(const std::string &workload, uint64_t seed,
 
     Acquired out;
     if (builder) {
+        GDIFF_OBS_COUNT("trace_cache.miss", 1);
         auto t0 = std::chrono::steady_clock::now();
-        auto trace =
-            MaterializedTrace::generate(workload, seed, records);
+        std::shared_ptr<const MaterializedTrace> trace;
+        {
+            obs::ScopedTimer obsGen("trace.generate",
+                                    /*withSpan=*/true);
+            obsGen.arg("workload", workload);
+            trace =
+                MaterializedTrace::generate(workload, seed, records);
+        }
         std::chrono::duration<double> dt =
             std::chrono::steady_clock::now() - t0;
         out.generated = true;

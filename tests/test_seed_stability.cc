@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Seed-stability regression: the promotion of bench/ext_seed_stability
+ * into an asserting ctest. The kernels synthesise their value streams
+ * from a seed; a credible reproduction must not hinge on one lucky
+ * stream. For every kernel, the Fig. 8 predictor accuracies across
+ * five seeds must stay inside a bounded spread, and the headline
+ * ordering (gdiff beats the local predictors) must hold for every
+ * seed, not just the default one.
+ *
+ * Bounds were calibrated at this budget (60k measured instructions)
+ * with ~2x headroom over the observed spreads; a failure means a
+ * kernel's character now depends on its seed, which breaks every
+ * averaged claim downstream.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/gdiff.hh"
+#include "predictors/fcm.hh"
+#include "predictors/stride.hh"
+#include "sim/profile.hh"
+#include "workload/workload.hh"
+
+using namespace gdiff;
+
+namespace {
+
+constexpr uint64_t kInstructions = 60'000;
+constexpr uint64_t kWarmup = 10'000;
+const std::vector<uint64_t> kSeeds = {1, 2, 3, 5, 8};
+
+struct SeedRun
+{
+    double stride = 0;
+    double dfcm = 0;
+    double gdiff = 0;
+};
+
+/** accuracies[workload][seed] for the three Fig. 8 predictors. */
+const std::map<std::string, std::map<uint64_t, SeedRun>> &
+accuracies()
+{
+    static const auto table = [] {
+        std::map<std::string, std::map<uint64_t, SeedRun>> out;
+        for (const auto &name : workload::specWorkloadNames()) {
+            for (uint64_t seed : kSeeds) {
+                workload::Workload w =
+                    workload::makeWorkload(name, seed);
+                auto exec = w.makeExecutor();
+                predictors::StridePredictor stride(0);
+                predictors::FcmConfig fcfg;
+                fcfg.level1Entries = 0;
+                predictors::DfcmPredictor dfcm(fcfg);
+                core::GDiffConfig gcfg;
+                gcfg.order = 8;
+                gcfg.tableEntries = 0;
+                core::GDiffPredictor gd(gcfg);
+
+                sim::ProfileConfig pcfg;
+                pcfg.maxInstructions = kInstructions;
+                pcfg.warmupInstructions = kWarmup;
+                sim::ValueProfileRunner runner(pcfg);
+                runner.addPredictor(stride);
+                runner.addPredictor(dfcm);
+                runner.addPredictor(gd);
+                runner.run(*exec);
+
+                SeedRun r;
+                r.stride = runner.results()[0].accuracyAll.value();
+                r.dfcm = runner.results()[1].accuracyAll.value();
+                r.gdiff = runner.results()[2].accuracyAll.value();
+                out[name][seed] = r;
+            }
+        }
+        return out;
+    }();
+    return table;
+}
+
+double
+spreadOf(const std::map<uint64_t, SeedRun> &runs,
+         double SeedRun::*field)
+{
+    double lo = 1.0, hi = 0.0;
+    for (const auto &[seed, r] : runs) {
+        (void)seed;
+        lo = std::min(lo, r.*field);
+        hi = std::max(hi, r.*field);
+    }
+    return hi - lo;
+}
+
+/**
+ * Per-kernel max-min accuracy spread across seeds must stay bounded.
+ * The synthetic kernels draw fresh streams per seed, so some wobble
+ * is expected; what must not happen is a kernel changing character.
+ */
+TEST(SeedStability, PerKernelSpreadBounded)
+{
+    // Calibrated per-kernel bounds: the worst spread observed over the
+    // three predictors, roughly doubled. perl (dfcm 9.0 points) and
+    // gcc (stride 7.2 points) mix several value populations and move
+    // the most between seeds; the table-driven kernels sit under 1.
+    const std::map<std::string, double> bound = {
+        {"bzip2", 0.08}, {"gap", 0.02},    {"gcc", 0.15},
+        {"gzip", 0.02},  {"mcf", 0.06},    {"parser", 0.02},
+        {"perl", 0.18},  {"twolf", 0.08},  {"vortex", 0.02},
+        {"vpr", 0.04},
+    };
+    for (const auto &[name, runs] : accuracies()) {
+        ASSERT_TRUE(bound.count(name))
+            << "no calibrated bound for workload '" << name << "'";
+        double limit = bound.at(name);
+        EXPECT_LE(spreadOf(runs, &SeedRun::stride), limit)
+            << name << ": stride accuracy is seed-unstable";
+        EXPECT_LE(spreadOf(runs, &SeedRun::dfcm), limit)
+            << name << ": dfcm accuracy is seed-unstable";
+        EXPECT_LE(spreadOf(runs, &SeedRun::gdiff), limit)
+            << name << ": gdiff accuracy is seed-unstable";
+    }
+}
+
+/**
+ * The paper's headline ordering must hold for every seed: gdiff's
+ * accuracy beats both local predictors on every kernel (gap, the
+ * floor case for everyone, gets the same 12-point tie allowance the
+ * seed-stability bench uses).
+ */
+TEST(SeedStability, GdiffOrderingHoldsForEverySeed)
+{
+    for (const auto &[name, runs] : accuracies()) {
+        double slack = name == "gap" ? 0.12 : 0.0;
+        for (const auto &[seed, r] : runs) {
+            EXPECT_GE(r.gdiff + slack, std::max(r.stride, r.dfcm))
+                << name << " seed " << seed
+                << ": gdiff lost the Fig. 8 ordering (stride "
+                << r.stride << ", dfcm " << r.dfcm << ", gdiff "
+                << r.gdiff << ")";
+        }
+    }
+}
+
+/**
+ * Averaged over kernels, every seed must tell the same story within a
+ * few points — this is the bench's bottom-line "spread" number, now
+ * asserted.
+ */
+TEST(SeedStability, AverageAccuracyStableAcrossSeeds)
+{
+    std::map<uint64_t, double> avg;
+    size_t kernels = accuracies().size();
+    for (const auto &[name, runs] : accuracies()) {
+        (void)name;
+        for (const auto &[seed, r] : runs)
+            avg[seed] += r.gdiff / static_cast<double>(kernels);
+    }
+    double lo = 1.0, hi = 0.0;
+    for (const auto &[seed, a] : avg) {
+        (void)seed;
+        lo = std::min(lo, a);
+        hi = std::max(hi, a);
+    }
+    EXPECT_LE(hi - lo, 0.05)
+        << "gdiff's kernel-averaged accuracy moved " << (hi - lo)
+        << " across seeds (" << lo << " .. " << hi << ")";
+}
+
+} // namespace

@@ -118,6 +118,115 @@ TEST(HistogramDeath, OutOfRangeBucket)
     EXPECT_DEATH((void)h.bucket(2), "out of range");
 }
 
+TEST(Counter, LargeAdditionsDoNotTruncate)
+{
+    Counter c;
+    // Counts near 2^63 must keep full 64-bit precision (a billion-way
+    // sweep's instruction totals land in this range).
+    c.add(uint64_t(1) << 63);
+    c.add((uint64_t(1) << 63) - 1);
+    EXPECT_EQ(c.value(), ~uint64_t(0));
+    c.reset();
+    c.add(0);
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Ratio, ZeroTotalBatchIsHarmless)
+{
+    Ratio r;
+    r.addBatch(0, 0);
+    EXPECT_EQ(r.value(), 0.0);
+    r.addBatch(3, 4);
+    r.addBatch(0, 0);
+    EXPECT_DOUBLE_EQ(r.value(), 0.75);
+}
+
+TEST(Histogram, PercentileOfEmptyIsZero)
+{
+    Histogram h(8);
+    EXPECT_EQ(h.percentile(0.0), 0u);
+    EXPECT_EQ(h.percentile(0.5), 0u);
+    EXPECT_EQ(h.percentile(1.0), 0u);
+}
+
+TEST(Histogram, PercentileOfSingleSample)
+{
+    Histogram h(8);
+    h.record(5);
+    // With one sample, every percentile is that sample.
+    EXPECT_EQ(h.percentile(0.0), 5u);
+    EXPECT_EQ(h.percentile(0.5), 5u);
+    EXPECT_EQ(h.percentile(1.0), 5u);
+}
+
+TEST(Histogram, PercentileWalksTheDistribution)
+{
+    Histogram h(16);
+    for (uint64_t v = 0; v < 10; ++v)
+        h.record(v); // one sample in each of buckets 0..9
+    EXPECT_EQ(h.percentile(0.0), 0u);  // smallest recorded sample
+    EXPECT_EQ(h.percentile(0.1), 0u);  // ceil(0.1*10)=1 -> bucket 0
+    EXPECT_EQ(h.percentile(0.5), 4u);  // ceil(0.5*10)=5 -> bucket 4
+    EXPECT_EQ(h.percentile(0.95), 9u); // ceil(9.5)=10 -> bucket 9
+    EXPECT_EQ(h.percentile(1.0), 9u);
+}
+
+TEST(Histogram, PercentileInOverflowReportsMaxSample)
+{
+    Histogram h(4);
+    h.record(1);
+    h.record(100); // overflow
+    h.record(200); // overflow, the max
+    // The median lands in the overflow bucket, where per-value
+    // resolution is gone; the documented bound is maxSample().
+    EXPECT_EQ(h.percentile(0.5), 200u);
+    EXPECT_EQ(h.percentile(1.0), 200u);
+    EXPECT_EQ(h.percentile(0.1), 1u); // still resolved in-range
+}
+
+TEST(Histogram, MergeOfDisjointRanges)
+{
+    // One thread's histogram saw only small samples, another's only
+    // large ones (plus overflow) — exactly the shape obs::snapshot()
+    // merges. The union must behave as if one histogram saw both.
+    Histogram low(8), high(8);
+    low.record(0);
+    low.record(1);
+    low.record(1);
+    high.record(6);
+    high.record(7);
+    high.record(50); // overflow
+
+    low.merge(high);
+    EXPECT_EQ(low.samples(), 6u);
+    EXPECT_EQ(low.bucket(1), 2u);
+    EXPECT_EQ(low.bucket(6), 1u);
+    EXPECT_EQ(low.overflow(), 1u);
+    EXPECT_EQ(low.maxSample(), 50u);
+    EXPECT_DOUBLE_EQ(low.mean(), (0 + 1 + 1 + 6 + 7 + 50) / 6.0);
+    EXPECT_EQ(low.percentile(0.5), 1u);
+    EXPECT_EQ(low.percentile(1.0), 50u);
+}
+
+TEST(Histogram, MergeWithEmptyIsIdentity)
+{
+    Histogram h(4), empty(4);
+    h.record(2);
+    h.merge(empty);
+    EXPECT_EQ(h.samples(), 1u);
+    EXPECT_EQ(h.percentile(1.0), 2u);
+
+    empty.merge(h);
+    EXPECT_EQ(empty.samples(), 1u);
+    EXPECT_EQ(empty.bucket(2), 1u);
+}
+
+TEST(HistogramDeath, MergeBucketCountMismatch)
+{
+    Histogram a(4), b(8);
+    EXPECT_DEATH(a.merge(b), "4 vs 8 buckets");
+}
+
 TEST(Table, AlignedOutputContainsCells)
 {
     Table t("My Caption", "bench");
