@@ -1,0 +1,300 @@
+/**
+ * @file
+ * serve_load — concurrent-client load generator for the gdiffd
+ * daemon.
+ *
+ * Starts an in-process serve::Daemon and hammers it with N concurrent
+ * clients (default 4) submitting the *same* sweep grid, twice:
+ *
+ *   wave 1  cold cache — the daemon materializes each distinct
+ *           (workload, seed, budget) trace exactly once, however many
+ *           clients race for it;
+ *   wave 2  warm cache — every job must replay; the harness FAILS if
+ *           the daemon's generation count moved at all.
+ *
+ * Every client's result set must be bit-identical (deterministic
+ * JSON, order-independent) to every other client's — concurrency must
+ * not leak into the metrics. Throughput (jobs/sec) and request/job
+ * latency percentiles (from the daemon's obs histograms) are printed
+ * and, with --json=FILE, written as one JSON document for the CI
+ * bench artifact (BENCH_serve.json).
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "obs/obs.hh"
+#include "runner/sinks.hh"
+#include "serve/client.hh"
+#include "serve/daemon.hh"
+#include "util/parse.hh"
+
+using namespace gdiff;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct ClientRun
+{
+    std::vector<std::string> lines; ///< deterministic JSON, sorted
+    serve::SweepOutcome outcome;
+    bool ok = false;
+    std::string error;
+};
+
+/** Connect, submit @p grid, stream everything, sort the payloads. */
+ClientRun
+runClient(const std::string &socketPath, const std::string &grid,
+          uint64_t instructions, uint64_t warmup,
+          const std::string &name)
+{
+    ClientRun run;
+    serve::Client client;
+    if (!client.connect(socketPath, &run.error))
+        return run;
+    serve::SubmitRequest req;
+    req.grid = grid;
+    req.client = name;
+    req.instructions = instructions;
+    req.warmup = warmup;
+    if (!client.submit(req, &run.error))
+        return run;
+    run.ok = client.streamResults(
+        [&](const runner::JobRecord &rec) {
+            run.lines.push_back(
+                runner::JsonlSink::deterministicJson(rec));
+        },
+        &run.outcome, &run.error);
+    std::sort(run.lines.begin(), run.lines.end());
+    return run;
+}
+
+/** One wave of @p clients concurrent submissions of @p grid. */
+std::vector<ClientRun>
+runWave(const std::string &socketPath, const std::string &grid,
+        uint64_t instructions, uint64_t warmup, unsigned clients,
+        const char *wave)
+{
+    std::vector<ClientRun> runs(clients);
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (unsigned c = 0; c < clients; ++c)
+        threads.emplace_back([&, c] {
+            runs[c] = runClient(socketPath, grid, instructions,
+                                warmup,
+                                std::string(wave) + "_client" +
+                                    std::to_string(c));
+        });
+    for (auto &t : threads)
+        t.join();
+    return runs;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string grid =
+        "workload=mcf,gzip;predictor=stride,gdiff;order=4,8";
+    uint64_t instructions = 200'000;
+    uint64_t warmup = 20'000;
+    unsigned clients = 4;
+    unsigned workers = 0;
+    std::string jsonPath;
+    std::string socketPath;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (std::strncmp(a, "--grid=", 7) == 0)
+            grid = a + 7;
+        else if (std::strncmp(a, "--instructions=", 15) == 0)
+            instructions = parseU64Flag("--instructions", a + 15);
+        else if (std::strncmp(a, "--warmup=", 9) == 0)
+            warmup = parseU64Flag("--warmup", a + 9, true);
+        else if (std::strncmp(a, "--clients=", 10) == 0)
+            clients = static_cast<unsigned>(
+                parseU64Flag("--clients", a + 10));
+        else if (std::strncmp(a, "--workers=", 10) == 0)
+            workers = static_cast<unsigned>(
+                parseU64Flag("--workers", a + 10, true));
+        else if (std::strncmp(a, "--json=", 7) == 0)
+            jsonPath = a + 7;
+        else if (std::strncmp(a, "--socket=", 9) == 0)
+            socketPath = a + 9;
+        else {
+            std::fprintf(
+                stderr,
+                "usage: %s [--grid=G] [--instructions=N] "
+                "[--warmup=N] [--clients=N] [--workers=N] "
+                "[--json=FILE] [--socket=PATH]\n",
+                argv[0]);
+            return 2;
+        }
+    }
+    if (socketPath.empty())
+        socketPath = "/tmp/gdiff_serve_load." +
+                     std::to_string(getpid()) + ".sock";
+
+    // The latency report comes from the daemon's obs histograms.
+    obs::setEnabled(true);
+
+    serve::DaemonConfig cfg;
+    cfg.socketPath = socketPath;
+    cfg.workers = workers;
+    serve::Daemon daemon(cfg);
+    std::string error;
+    if (!daemon.start(&error)) {
+        std::fprintf(stderr, "serve_load: %s\n", error.c_str());
+        return 1;
+    }
+    std::printf("serve_load: %u clients x grid '%s' against %u "
+                "workers\n",
+                clients, grid.c_str(), daemon.workers());
+
+    bool failed = false;
+
+    // -------- wave 1: cold cache, N racing clients
+    auto t0 = Clock::now();
+    std::vector<ClientRun> wave1 = runWave(
+        socketPath, grid, instructions, warmup, clients, "cold");
+    double wave1Seconds =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+
+    size_t totalJobs = 0;
+    for (unsigned c = 0; c < clients; ++c) {
+        const ClientRun &r = wave1[c];
+        if (!r.ok) {
+            std::fprintf(stderr,
+                         "serve_load: FAIL: cold client %u: %s\n", c,
+                         r.error.c_str());
+            failed = true;
+            continue;
+        }
+        totalJobs += r.outcome.jobs;
+        if (r.lines != wave1[0].lines) {
+            std::fprintf(stderr,
+                         "serve_load: FAIL: cold client %u results "
+                         "differ from client 0\n",
+                         c);
+            failed = true;
+        }
+    }
+    serve::DaemonStats afterCold = daemon.stats();
+    double jobsPerSec = wave1Seconds > 0
+                            ? static_cast<double>(totalJobs) /
+                                  wave1Seconds
+                            : 0.0;
+    std::printf("serve_load: wave 1 (cold): %zu jobs in %.2fs = "
+                "%.1f jobs/sec; %llu traces generated\n",
+                totalJobs, wave1Seconds, jobsPerSec,
+                static_cast<unsigned long long>(
+                    afterCold.traceCache.generations));
+
+    // -------- wave 2: warm cache — generations must not move
+    std::vector<ClientRun> wave2 = runWave(
+        socketPath, grid, instructions, warmup, clients, "warm");
+    serve::DaemonStats afterWarm = daemon.stats();
+    for (unsigned c = 0; c < clients; ++c) {
+        const ClientRun &r = wave2[c];
+        if (!r.ok) {
+            std::fprintf(stderr,
+                         "serve_load: FAIL: warm client %u: %s\n", c,
+                         r.error.c_str());
+            failed = true;
+            continue;
+        }
+        if (r.lines != wave1[0].lines) {
+            std::fprintf(stderr,
+                         "serve_load: FAIL: warm client %u results "
+                         "differ from cold client 0\n",
+                         c);
+            failed = true;
+        }
+    }
+    uint64_t newGenerations = afterWarm.traceCache.generations -
+                              afterCold.traceCache.generations;
+    if (newGenerations != 0) {
+        std::fprintf(stderr,
+                     "serve_load: FAIL: warm wave generated %llu "
+                     "traces; the shared cache should have served "
+                     "every job\n",
+                     static_cast<unsigned long long>(newGenerations));
+        failed = true;
+    }
+    std::printf("serve_load: wave 2 (warm): %llu new generations "
+                "(want 0), cache: %llu hits, %zu traces resident\n",
+                static_cast<unsigned long long>(newGenerations),
+                static_cast<unsigned long long>(
+                    afterWarm.traceCache.hits),
+                afterWarm.traceCache.entries);
+
+    // -------- latency percentiles from the daemon's obs histograms
+    double requestP50 = 0, requestP99 = 0, jobP50 = 0, jobP99 = 0;
+    uint64_t requestCount = 0, jobCount = 0;
+    obs::Snapshot snap = obs::snapshot();
+    auto h = snap.histograms.find("serve.request_us");
+    if (h != snap.histograms.end()) {
+        requestCount = h->second.samples();
+        requestP50 = h->second.percentile(0.50) / 1e3;
+        requestP99 = h->second.percentile(0.99) / 1e3;
+    }
+    h = snap.histograms.find("serve.job_us");
+    if (h != snap.histograms.end()) {
+        jobCount = h->second.samples();
+        jobP50 = h->second.percentile(0.50) / 1e3;
+        jobP99 = h->second.percentile(0.99) / 1e3;
+    }
+    std::printf("serve_load: request latency p50 %.2fms p99 %.2fms "
+                "(%llu sweeps); job latency p50 %.2fms p99 %.2fms "
+                "(%llu jobs)\n",
+                requestP50, requestP99,
+                static_cast<unsigned long long>(requestCount), jobP50,
+                jobP99, static_cast<unsigned long long>(jobCount));
+
+    daemon.requestDrain();
+    daemon.waitUntilDrained();
+
+    if (!jsonPath.empty()) {
+        std::FILE *jf = std::fopen(jsonPath.c_str(), "wb");
+        if (!jf) {
+            std::fprintf(stderr, "cannot create JSON file '%s'\n",
+                         jsonPath.c_str());
+            return 1;
+        }
+        std::fprintf(
+            jf,
+            "{\"bench\":\"serve_load\",\"clients\":%u,"
+            "\"workers\":%u,\"grid\":\"%s\","
+            "\"jobs_wave1\":%zu,\"wave1_seconds\":%.3f,"
+            "\"jobs_per_sec\":%.2f,"
+            "\"request_p50_ms\":%.3f,\"request_p99_ms\":%.3f,"
+            "\"job_p50_ms\":%.3f,\"job_p99_ms\":%.3f,"
+            "\"generations_cold\":%llu,\"generations_warm_delta\":"
+            "%llu,\"cache_hits\":%llu,\"bit_identical\":%s}\n",
+            clients, daemon.workers(), grid.c_str(), totalJobs,
+            wave1Seconds, jobsPerSec, requestP50, requestP99, jobP50,
+            jobP99,
+            static_cast<unsigned long long>(
+                afterCold.traceCache.generations),
+            static_cast<unsigned long long>(newGenerations),
+            static_cast<unsigned long long>(
+                afterWarm.traceCache.hits),
+            failed ? "false" : "true");
+        std::fclose(jf);
+    }
+    if (failed) {
+        std::fprintf(stderr, "serve_load: FAILED\n");
+        return 1;
+    }
+    std::printf("serve_load: OK\n");
+    return 0;
+}

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * gdiffctl — client CLI for the gdiffd daemon.
+ *
+ * Speaks the serve/protocol.hh framing over the daemon's Unix-domain
+ * socket and feeds the streamed job records through the same sinks
+ * gdiffrun uses, so daemon-side and in-process sweeps produce
+ * byte-comparable outputs:
+ *
+ *   gdiffctl --socket /tmp/gdiffd.sock submit \
+ *       --grid 'workload=mcf;predictor=stride,gdiff;order=4,8' \
+ *       --out results.jsonl
+ *   gdiffctl --socket /tmp/gdiffd.sock status
+ *   gdiffctl --socket /tmp/gdiffd.sock ping
+ *   gdiffctl --socket /tmp/gdiffd.sock shutdown
+ */
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runner/sinks.hh"
+#include "serve/client.hh"
+#include "util/parse.hh"
+
+using namespace gdiff;
+
+namespace {
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s --socket PATH <command> [options]\n"
+        "\n"
+        "commands:\n"
+        "  submit   submit a sweep and stream its results\n"
+        "  status   print the daemon's scheduler/cache/latency "
+        "snapshot\n"
+        "  ping     liveness probe\n"
+        "  shutdown ask the daemon to drain and exit\n"
+        "\n"
+        "submit options:\n"
+        "  --grid='key=v1,v2;...' sweep grid (gdiffrun syntax, "
+        "required)\n"
+        "  --instructions=N       override measured instructions per "
+        "job\n"
+        "  --warmup=N             override warmup instructions per "
+        "job\n"
+        "  --client=NAME          client name for fairness/obs "
+        "attribution\n"
+        "  --out=FILE             JSON-lines results\n"
+        "  --csv=FILE             CSV results\n"
+        "  --no-table             suppress the human-readable table\n"
+        "  --deterministic        strip timing metadata from --out "
+        "lines\n",
+        argv0);
+    std::exit(2);
+}
+
+int
+runSubmit(serve::Client &client, const serve::SubmitRequest &req,
+          const std::string &out, const std::string &csv, bool noTable,
+          bool deterministic)
+{
+    std::string error;
+    if (!client.submit(req, &error)) {
+        std::fprintf(stderr, "gdiffctl: %s\n", error.c_str());
+        return 1;
+    }
+
+    std::vector<std::unique_ptr<runner::ResultSink>> sinks;
+    if (!noTable)
+        sinks.push_back(std::make_unique<runner::TableSink>(
+            std::cout, "sweep over " + req.grid));
+    if (!out.empty())
+        sinks.push_back(std::make_unique<runner::JsonlSink>(
+            out, false, deterministic));
+    if (!csv.empty())
+        sinks.push_back(std::make_unique<runner::CsvSink>(csv));
+
+    serve::SweepOutcome outcome;
+    bool ok = client.streamResults(
+        [&](const runner::JobRecord &rec) {
+            for (auto &s : sinks)
+                s->onJob(rec);
+        },
+        &outcome, &error);
+    // Flush whatever arrived even on a truncated stream, mirroring
+    // what an interrupted gdiffrun does.
+    for (auto &s : sinks)
+        s->finish();
+    if (!ok) {
+        std::fprintf(stderr, "gdiffctl: %s\n", error.c_str());
+        return 1;
+    }
+    std::fprintf(stderr,
+                 "gdiffctl: sweep %llu: %zu jobs in %.2fs "
+                 "(%zu traces generated, %zu replayed from the daemon "
+                 "cache)\n",
+                 static_cast<unsigned long long>(outcome.sweep),
+                 outcome.jobs, outcome.wallSeconds, outcome.generated,
+                 outcome.replayed);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string socketPath;
+    std::string command;
+    serve::SubmitRequest req;
+    std::string out, csv;
+    bool noTable = false;
+    bool deterministic = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto take = [&](const char *key, std::string &dest) {
+            std::string prefix = std::string(key) + "=";
+            if (a.rfind(prefix, 0) == 0) {
+                dest = a.substr(prefix.size());
+                return true;
+            }
+            if (a == key && i + 1 < argc) {
+                dest = argv[++i];
+                return true;
+            }
+            return false;
+        };
+        std::string v;
+        if (take("--socket", socketPath)) {
+        } else if (take("--grid", req.grid)) {
+        } else if (take("--client", req.client)) {
+        } else if (take("--out", out)) {
+        } else if (take("--csv", csv)) {
+        } else if (take("--instructions", v)) {
+            req.instructions = parseU64Flag("--instructions",
+                                            v.c_str());
+        } else if (take("--warmup", v)) {
+            req.warmup = parseU64Flag("--warmup", v.c_str(), true);
+        } else if (a == "--no-table") {
+            noTable = true;
+        } else if (a == "--deterministic") {
+            deterministic = true;
+        } else if (!a.empty() && a[0] != '-' && command.empty()) {
+            command = a;
+        } else {
+            usage(argv[0]);
+        }
+    }
+    if (socketPath.empty() || command.empty())
+        usage(argv[0]);
+
+    serve::Client client;
+    std::string error;
+    if (!client.connect(socketPath, &error)) {
+        std::fprintf(stderr, "gdiffctl: %s\n", error.c_str());
+        return 1;
+    }
+
+    if (command == "submit") {
+        if (req.grid.empty())
+            usage(argv[0]);
+        return runSubmit(client, req, out, csv, noTable,
+                         deterministic);
+    }
+    if (command == "status") {
+        std::string statusJson;
+        if (!client.status(&statusJson, &error)) {
+            std::fprintf(stderr, "gdiffctl: %s\n", error.c_str());
+            return 1;
+        }
+        std::printf("%s\n", statusJson.c_str());
+        return 0;
+    }
+    if (command == "ping") {
+        if (!client.ping(&error)) {
+            std::fprintf(stderr, "gdiffctl: %s\n", error.c_str());
+            return 1;
+        }
+        std::printf("pong\n");
+        return 0;
+    }
+    if (command == "shutdown") {
+        if (!client.shutdown(&error)) {
+            std::fprintf(stderr, "gdiffctl: %s\n", error.c_str());
+            return 1;
+        }
+        std::fprintf(stderr, "gdiffctl: daemon is draining\n");
+        return 0;
+    }
+    std::fprintf(stderr, "gdiffctl: unknown command '%s'\n",
+                 command.c_str());
+    return 2;
+}

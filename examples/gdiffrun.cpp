@@ -18,6 +18,9 @@
  * mode so the JSON-lines file accumulates across runs.
  */
 
+#include <atomic>
+#include <cinttypes>
+#include <csignal>
 #include <cstdio>
 #include <iostream>
 #include <memory>
@@ -30,6 +33,7 @@
 #include "runner/runner.hh"
 #include "util/logging.hh"
 #include "util/parse.hh"
+#include "workload/trace_cache.hh"
 #include "workload/workload.hh"
 
 using namespace gdiff;
@@ -50,9 +54,24 @@ struct Options
     bool useTraceCache = true;
     size_t traceCacheBytes = 0; // 0 = keep the cache's default cap
     bool list = false;
+    bool deterministic = false; // jsonl without timing metadata
     std::string traceOut;   // Chrome trace-event JSON path
     bool obsSummary = false; // print the obs stage/counter tables
 };
+
+/**
+ * SIGINT/SIGTERM request a graceful stop: the sweep stops dispatching
+ * new jobs, in-flight jobs finish and reach the sinks, and the
+ * manifest stays consistent for a resumed run. A handler may only
+ * touch lock-free state, hence the bare atomic flag.
+ */
+std::atomic<bool> stopRequested{false};
+
+void
+onStopSignal(int)
+{
+    stopRequested.store(true, std::memory_order_relaxed);
+}
 
 [[noreturn]] void
 usage(const char *argv0)
@@ -76,6 +95,8 @@ usage(const char *argv0)
         "  --warmup=N       warmup instructions per job "
         "(default 100000)\n"
         "  --no-table       suppress the human-readable table\n"
+        "  --deterministic  strip timing metadata from --out lines so\n"
+        "                   runs can be compared with sort + cmp\n"
         "  --no-trace-cache regenerate every job's trace instead of\n"
         "                   replaying the shared cached copy\n"
         "  --trace-cache-mb=N  cap the shared trace cache at N MiB\n"
@@ -153,6 +174,8 @@ parse(int argc, char **argv)
             o.obsSummary = true;
         } else if (a == "--no-table") {
             o.noTable = true;
+        } else if (a == "--deterministic") {
+            o.deterministic = true;
         } else if (a == "--no-trace-cache") {
             o.useTraceCache = false;
         } else if (a == "--list") {
@@ -210,8 +233,8 @@ main(int argc, char **argv)
         sinks.push_back(std::make_unique<runner::TableSink>(
             std::cout, "sweep over " + o.grid));
     if (!o.out.empty())
-        sinks.push_back(
-            std::make_unique<runner::JsonlSink>(o.out, resuming));
+        sinks.push_back(std::make_unique<runner::JsonlSink>(
+            o.out, resuming, o.deterministic));
     if (!o.csv.empty())
         sinks.push_back(std::make_unique<runner::CsvSink>(o.csv));
     for (auto &s : sinks)
@@ -222,6 +245,12 @@ main(int argc, char **argv)
     ropt.manifestPath = o.manifest;
     ropt.useTraceCache = o.useTraceCache;
     ropt.traceCacheBytes = o.traceCacheBytes;
+    ropt.cancel = &stopRequested;
+
+    struct sigaction sa = {};
+    sa.sa_handler = onStopSignal;
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
 
     std::fprintf(stderr, "gdiffrun: %zu jobs, %u threads\n",
                  sweep.jobs().size(),
@@ -232,12 +261,33 @@ main(int argc, char **argv)
                  "gdiffrun: ran %zu jobs (%zu resumed/skipped) in "
                  "%.2fs\n",
                  s.ranJobs, s.skippedJobs, s.wallSeconds);
-    if (o.useTraceCache && s.ranJobs > 0)
+    if (o.useTraceCache && s.ranJobs > 0) {
         std::fprintf(stderr,
                      "gdiffrun: trace cache: %zu generated (%.2fs), "
                      "%zu replayed\n",
                      s.generatedTraces, s.generateSeconds,
                      s.replayedJobs);
+        workload::TraceCache::Stats cs =
+            workload::TraceCache::global().snapshot();
+        std::fprintf(stderr,
+                     "gdiffrun: trace cache: %" PRIu64 " hits, %" PRIu64
+                     " misses, %" PRIu64 " evictions, %.1f MiB resident "
+                     "(%zu traces)\n",
+                     cs.hits, cs.misses, cs.evictions,
+                     static_cast<double>(cs.residentBytes) /
+                         (1 << 20),
+                     cs.entries);
+    }
+    if (s.canceledJobs > 0) {
+        std::fprintf(stderr,
+                     "gdiffrun: interrupted: %zu jobs canceled before "
+                     "dispatch; completed jobs were flushed%s\n",
+                     s.canceledJobs,
+                     o.manifest.empty()
+                         ? ""
+                         : " and journaled (rerun with the same "
+                           "--manifest to resume)");
+    }
 
     if (!o.traceOut.empty() || o.obsSummary) {
         obs::Snapshot snap = obs::snapshot();
@@ -251,5 +301,7 @@ main(int argc, char **argv)
                          snap.spans.size(), o.traceOut.c_str());
         }
     }
-    return 0;
+    // The conventional 128+SIGINT code tells callers (and scripts)
+    // that the sweep was cut short, not that it failed.
+    return s.canceledJobs > 0 ? 130 : 0;
 }

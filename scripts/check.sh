@@ -9,6 +9,7 @@ ctest --test-dir build --output-on-failure
 for b in build/bench/*; do
     case "$b" in
         *perf_predictors) "$b" --benchmark_min_time=0.05s ;;
+        *serve_load) ;; # has its own dedicated step below
         *) "$b" --instructions=200000 --warmup=40000 ;;
     esac
 done
@@ -52,4 +53,34 @@ rm -f build/smoke.jsonl build/smoke.csv build/smoke.manifest
 rm -rf build/fuzz-repros && mkdir -p build/fuzz-repros
 ./build/examples/gdifffuzz --cases=1000 --seed=1 --mutate \
     --out-dir=build/fuzz-repros --no-pipeline
+# Serving smoke: a daemon-fed sweep must be bit-identical to the same
+# grid run in-process, and SIGTERM must drain cleanly (exit 0).
+SOCK=build/check_gdiffd.sock
+rm -f "$SOCK" build/check_daemon.jsonl build/check_local.jsonl
+./build/examples/gdiffd --socket "$SOCK" --workers 4 &
+DAEMON=$!
+for _ in $(seq 1 100); do
+    [ -S "$SOCK" ] && break
+    sleep 0.1
+done
+./build/examples/gdiffctl --socket "$SOCK" ping
+./build/examples/gdiffctl --socket "$SOCK" submit \
+    --grid 'workload=mcf,parser;predictor=stride,dfcm,gdiff' \
+    --instructions=100000 --warmup=20000 \
+    --deterministic --no-table --out build/check_daemon.jsonl
+./build/examples/gdiffrun \
+    --grid 'workload=mcf,parser;predictor=stride,dfcm,gdiff' \
+    --threads=4 --instructions=100000 --warmup=20000 \
+    --deterministic --no-table --out build/check_local.jsonl
+sort build/check_daemon.jsonl > build/check_daemon.sorted
+sort build/check_local.jsonl > build/check_local.sorted
+cmp build/check_daemon.sorted build/check_local.sorted || {
+    echo "serving smoke: daemon results differ from in-process run"
+    kill "$DAEMON" 2>/dev/null; exit 1; }
+kill -TERM "$DAEMON"
+wait "$DAEMON" || { echo "serving smoke: daemon drain failed"; exit 1; }
+# Serving load: concurrent clients, shared-cache warm wave, latency
+# percentiles from the obs histograms.
+./build/bench/serve_load --clients=4 --instructions=200000 \
+    --warmup=20000 --json=build/BENCH_serve.json
 echo "all checks passed"

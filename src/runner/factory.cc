@@ -30,6 +30,32 @@ schemeNames()
     return names;
 }
 
+namespace {
+
+bool
+contains(const std::vector<std::string> &names,
+         const std::string &name)
+{
+    for (const auto &n : names)
+        if (n == name)
+            return true;
+    return false;
+}
+
+} // anonymous namespace
+
+bool
+knownPredictor(const std::string &name)
+{
+    return contains(predictorNames(), name);
+}
+
+bool
+knownScheme(const std::string &name)
+{
+    return contains(schemeNames(), name);
+}
+
 std::unique_ptr<predictors::ValuePredictor>
 makePredictor(const std::string &name, unsigned order,
               uint64_t table_entries)

@@ -26,6 +26,13 @@ const std::vector<std::string> &predictorNames();
 /** @return the scheme names makeScheme() accepts. */
 const std::vector<std::string> &schemeNames();
 
+/** @return true when makePredictor(@p name, ...) would succeed —
+ * the non-fatal membership test servers use before admitting a job. */
+bool knownPredictor(const std::string &name);
+
+/** @return true when makeScheme(@p name, ...) would succeed. */
+bool knownScheme(const std::string &name);
+
 /**
  * Construct a value predictor by name.
  *

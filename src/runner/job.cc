@@ -27,18 +27,32 @@ parseJobMode(const std::string &name)
 void
 JobSpec::validate() const
 {
+    std::string error;
+    if (!validateOr(&error))
+        fatal("%s", error.c_str());
+}
+
+bool
+JobSpec::validateOr(std::string *error) const
+{
+    auto fail = [&](std::string msg) {
+        if (error)
+            *error = std::move(msg);
+        return false;
+    };
     if (instructions == 0) {
-        fatal("job %s: instructions must be > 0 (nothing would be "
-              "measured)",
-              label().c_str());
+        return fail("job " + label() +
+                    ": instructions must be > 0 (nothing would be "
+                    "measured)");
     }
     if (warmup >= instructions) {
-        fatal("job %s: warmup (%llu) must be smaller than "
-              "instructions (%llu)",
-              label().c_str(),
-              static_cast<unsigned long long>(warmup),
-              static_cast<unsigned long long>(instructions));
+        std::ostringstream os;
+        os << "job " << label() << ": warmup (" << warmup
+           << ") must be smaller than instructions (" << instructions
+           << ")";
+        return fail(os.str());
     }
+    return true;
 }
 
 std::string

@@ -61,6 +61,13 @@ struct JobSpec
     void validate() const;
 
     /**
+     * Non-fatal form of validate() for servers admitting untrusted
+     * specs. @return true when valid; false with @p error (if
+     * non-null) naming the job and the problem.
+     */
+    bool validateOr(std::string *error) const;
+
+    /**
      * @return the canonical identity string, e.g.
      * "mode=profile workload=mcf predictor=gdiff order=8 table=8192
      *  seed=1 instructions=1000000 warmup=100000".

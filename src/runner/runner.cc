@@ -226,8 +226,17 @@ SweepRunner::run(const SweepOptions &options)
     GDIFF_OBS_SPAN("sweep");
 
     std::mutex sinkLock;
+    std::atomic<size_t> canceled{0};
     ThreadPool pool(options.threads);
     pool.forEach(todo.size(), [&](size_t t) {
+        // Cancellation is checked at dispatch only: a job that
+        // already started always finishes and reaches the sinks, so
+        // the manifest never records a half-run job.
+        if (options.cancel &&
+            options.cancel->load(std::memory_order_relaxed)) {
+            canceled.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
         size_t index = todo[t];
         // Job execution is lock-free and fully isolated (the trace
         // cache shares immutable buffers only); only result delivery
@@ -263,9 +272,13 @@ SweepRunner::run(const SweepOptions &options)
         }
     });
 
+    // Sinks still finish on cancellation: buffered sinks (table, CSV)
+    // flush what completed, and the jsonl/manifest files were flushed
+    // per job already.
     for (ResultSink *sink : sinks)
         sink->finish();
 
+    summary.canceledJobs = canceled.load(std::memory_order_relaxed);
     std::chrono::duration<double> dt =
         std::chrono::steady_clock::now() - t0;
     summary.wallSeconds = dt.count();

@@ -88,6 +88,14 @@ struct SweepOptions
     /// trace-cache byte cap applied before the sweep; 0 keeps the
     /// cache's current cap
     size_t traceCacheBytes = 0;
+    /**
+     * Cooperative cancellation (graceful SIGINT/SIGTERM drain): when
+     * the pointee becomes true, workers stop *dispatching* new jobs
+     * but every job already running completes, reaches the sinks,
+     * and is journaled in the manifest — so an interrupted sweep
+     * loses nothing and resumes cleanly. Non-owning; may be null.
+     */
+    const std::atomic<bool> *cancel = nullptr;
 };
 
 /** What a sweep did, for the caller's summary line. */
@@ -96,6 +104,8 @@ struct SweepSummary
     size_t totalJobs = 0;   ///< jobs in the expanded grid
     size_t ranJobs = 0;     ///< jobs executed this run
     size_t skippedJobs = 0; ///< jobs skipped via the resume manifest
+    /// jobs never dispatched because SweepOptions::cancel fired
+    size_t canceledJobs = 0;
     double wallSeconds = 0; ///< whole-sweep wall time
     /// @name trace-cache effect on this sweep
     /// @{

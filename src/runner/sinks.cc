@@ -180,7 +180,9 @@ CsvSink::finish()
 
 // -------------------------------------------------------- JsonlSink
 
-JsonlSink::JsonlSink(const std::string &path, bool append)
+JsonlSink::JsonlSink(const std::string &path, bool append,
+                     bool deterministicOnly)
+    : deterministicOnly(deterministicOnly)
 {
     file = std::fopen(path.c_str(), append ? "ab" : "wb");
     if (!file)
@@ -228,6 +230,11 @@ JsonlSink::onJob(const JobRecord &record)
 {
     GDIFF_ASSERT(file != nullptr, "JsonlSink used after finish");
     std::string det = deterministicJson(record);
+    if (deterministicOnly) {
+        std::fprintf(file, "%s\n", det.c_str());
+        std::fflush(file);
+        return;
+    }
     // Timing metadata (including whether the trace cache served this
     // job) rides outside the deterministic payload: the closing brace
     // is reopened so the line stays one JSON object.

@@ -112,8 +112,13 @@ class JsonlSink : public ResultSink
      * @param path   output file.
      * @param append open in append mode (resumed sweeps) instead of
      *               truncating.
+     * @param deterministicOnly drop the timing metadata and write only
+     *               the deterministic payload, so two runs of the same
+     *               grid (any thread count, daemon or in-process) can
+     *               be compared with sort + cmp.
      */
-    explicit JsonlSink(const std::string &path, bool append = false);
+    explicit JsonlSink(const std::string &path, bool append = false,
+                       bool deterministicOnly = false);
     ~JsonlSink() override;
 
     void onJob(const JobRecord &record) override;
@@ -128,6 +133,7 @@ class JsonlSink : public ResultSink
 
   private:
     std::FILE *file = nullptr;
+    bool deterministicOnly = false;
 };
 
 } // namespace runner

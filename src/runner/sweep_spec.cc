@@ -88,26 +88,52 @@ SweepSpec
 SweepSpec::parseGrid(const std::string &grid)
 {
     SweepSpec spec;
+    std::string error;
+    if (!tryParseGrid(grid, spec, &error))
+        fatal("--grid: %s", error.c_str());
+    return spec;
+}
+
+bool
+SweepSpec::tryParseGrid(const std::string &grid, SweepSpec &out,
+                        std::string *error)
+{
+    auto fail = [&](std::string msg) {
+        if (error)
+            *error = std::move(msg);
+        return false;
+    };
+
+    SweepSpec spec;
     bool mode_set = false;
     bool scheme_seen = false;
     for (const auto &clause : split(grid, ';')) {
         auto eq = clause.find('=');
         if (eq == std::string::npos || eq == 0)
-            fatal("--grid: expected key=v1,v2,... in '%s'",
-                  clause.c_str());
+            return fail("expected key=v1,v2,... in '" + clause + "'");
         std::string axis = clause.substr(0, eq);
         std::vector<std::string> values =
             split(clause.substr(eq + 1), ',');
         if (values.empty())
-            fatal("--grid: axis '%s' has no values", axis.c_str());
+            return fail("axis '" + axis + "' has no values");
 
-        auto numeric = [&](bool allow_zero) {
-            std::vector<uint64_t> out;
-            std::string flag = "--grid " + axis;
-            for (const auto &v : values)
-                out.push_back(parseU64Flag(flag.c_str(), v.c_str(),
-                                           allow_zero));
-            return out;
+        std::string badValue;
+        auto numeric = [&](bool allow_zero,
+                           std::vector<uint64_t> &dest) {
+            dest.clear();
+            for (const auto &v : values) {
+                uint64_t parsed = 0;
+                if (!tryParseU64(v.c_str(), parsed, allow_zero)) {
+                    badValue = v;
+                    return false;
+                }
+                dest.push_back(parsed);
+            }
+            return true;
+        };
+        auto badNumber = [&](const std::string &axisName) {
+            return fail("axis '" + axisName + "': invalid number '" +
+                        badValue + "'");
         };
 
         if (axis == "workload") {
@@ -118,34 +144,47 @@ SweepSpec::parseGrid(const std::string &grid)
             spec.schemes = values;
             scheme_seen = true;
         } else if (axis == "order") {
+            std::vector<uint64_t> parsed;
+            if (!numeric(false, parsed))
+                return badNumber(axis);
             spec.orders.clear();
-            for (uint64_t v : numeric(false))
+            for (uint64_t v : parsed)
                 spec.orders.push_back(static_cast<unsigned>(v));
         } else if (axis == "table") {
-            spec.tables = numeric(true); // 0 = unlimited
+            if (!numeric(true, spec.tables)) // 0 = unlimited
+                return badNumber(axis);
         } else if (axis == "seed") {
-            spec.seeds = numeric(true);
+            if (!numeric(true, spec.seeds))
+                return badNumber(axis);
         } else if (axis == "instructions") {
-            spec.instructionWindows = numeric(false);
+            if (!numeric(false, spec.instructionWindows))
+                return badNumber(axis);
         } else if (axis == "mode") {
             if (values.size() != 1)
-                fatal("--grid: mode takes exactly one value");
-            spec.mode = parseJobMode(values[0]);
+                return fail("mode takes exactly one value");
+            if (values[0] == "profile") {
+                spec.mode = JobMode::Profile;
+            } else if (values[0] == "pipeline") {
+                spec.mode = JobMode::Pipeline;
+            } else {
+                return fail("unknown mode '" + values[0] +
+                            "' (expected profile|pipeline)");
+            }
             mode_set = true;
         } else {
-            fatal("--grid: unknown axis '%s' (expected workload, "
-                  "predictor, scheme, order, table, seed, "
-                  "instructions, or mode)",
-                  axis.c_str());
+            return fail("unknown axis '" + axis +
+                        "' (expected workload, predictor, scheme, "
+                        "order, table, seed, instructions, or mode)");
         }
     }
     if (!mode_set && scheme_seen)
         spec.mode = JobMode::Pipeline;
     if (spec.mode == JobMode::Profile && !spec.schemes.empty())
-        fatal("--grid: scheme axis requires mode=pipeline");
+        return fail("scheme axis requires mode=pipeline");
     if (spec.mode == JobMode::Pipeline && !spec.predictors.empty())
-        fatal("--grid: predictor axis requires mode=profile");
-    return spec;
+        return fail("predictor axis requires mode=profile");
+    out = std::move(spec);
+    return true;
 }
 
 } // namespace runner

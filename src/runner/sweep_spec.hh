@@ -69,6 +69,17 @@ struct SweepSpec
      * keys, malformed numbers, or empty value lists.
      */
     static SweepSpec parseGrid(const std::string &grid);
+
+    /**
+     * Non-fatal form of parseGrid() for servers parsing untrusted
+     * grids: a malformed grid must produce an error response, not
+     * take the daemon down.
+     *
+     * @return true and fill @p out on success; false with @p error
+     * (if non-null) describing the first problem.
+     */
+    static bool tryParseGrid(const std::string &grid, SweepSpec &out,
+                             std::string *error);
 };
 
 } // namespace runner

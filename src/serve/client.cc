@@ -1,0 +1,222 @@
+#include "serve/client.hh"
+
+#include "serve/protocol.hh"
+#include "util/json.hh"
+
+namespace gdiff {
+namespace serve {
+
+namespace {
+
+/** Hoist a daemon error/rejected frame into the error string. */
+bool
+isFailureFrame(const json::Value &msg, std::string *error)
+{
+    const json::Value *type = msg.find("type");
+    if (!type || !type->isString()) {
+        if (error)
+            *error = "daemon sent a frame without a 'type'";
+        return true;
+    }
+    if (type->str == "error") {
+        if (error) {
+            const json::Value *m = msg.find("message");
+            *error = "daemon error: " +
+                     (m && m->isString() ? m->str
+                                         : std::string("(no message)"));
+        }
+        return true;
+    }
+    if (type->str == "rejected") {
+        if (error) {
+            const json::Value *r = msg.find("reason");
+            *error = "daemon rejected the sweep: " +
+                     (r && r->isString() ? r->str
+                                         : std::string("(no reason)"));
+        }
+        return true;
+    }
+    return false;
+}
+
+} // anonymous namespace
+
+bool
+Client::connect(const std::string &path, std::string *error)
+{
+    sock = connectUnix(path, error);
+    return sock.valid();
+}
+
+bool
+Client::readMessage(std::string &payload, std::string *error)
+{
+    FrameStatus st = readFrame(sock.get(), payload);
+    if (st == FrameStatus::Ok)
+        return true;
+    if (error)
+        *error = std::string("reading from daemon: ") +
+                 frameStatusName(st);
+    return false;
+}
+
+bool
+Client::submit(const SubmitRequest &request, std::string *error)
+{
+    if (!sock.valid()) {
+        if (error)
+            *error = "not connected";
+        return false;
+    }
+    if (!writeFrame(sock.get(),
+                    submitMessage(request.client, request.grid,
+                                  request.instructions,
+                                  request.warmup))) {
+        if (error)
+            *error = "writing submit frame failed (daemon gone?)";
+        return false;
+    }
+    std::string payload;
+    if (!readMessage(payload, error))
+        return false;
+    json::Value msg;
+    std::string parseError;
+    if (!json::parse(payload, msg, &parseError)) {
+        if (error)
+            *error = "daemon sent unparsable JSON: " + parseError;
+        return false;
+    }
+    if (isFailureFrame(msg, error))
+        return false;
+    const json::Value *type = msg.find("type");
+    if (type->str != "accepted") {
+        if (error)
+            *error = "expected 'accepted', daemon sent '" + type->str +
+                     "'";
+        return false;
+    }
+    return true;
+}
+
+bool
+Client::streamResults(
+    const std::function<void(const runner::JobRecord &)> &onJob,
+    SweepOutcome *outcome, std::string *error)
+{
+    std::string payload;
+    for (;;) {
+        if (!readMessage(payload, error))
+            return false;
+        json::Value msg;
+        std::string parseError;
+        if (!json::parse(payload, msg, &parseError)) {
+            if (error)
+                *error = "daemon sent unparsable JSON: " + parseError;
+            return false;
+        }
+        if (isFailureFrame(msg, error))
+            return false;
+        const json::Value *type = msg.find("type");
+        if (type->str == "job") {
+            runner::JobRecord rec;
+            if (!parseJobFrame(msg, rec, error))
+                return false;
+            if (onJob)
+                onJob(rec);
+            continue;
+        }
+        if (type->str == "sweep_done") {
+            if (outcome) {
+                auto num = [&](const char *key) -> double {
+                    const json::Value *v = msg.find(key);
+                    return v && v->isNumber() ? v->number : 0.0;
+                };
+                outcome->sweep =
+                    static_cast<uint64_t>(num("sweep"));
+                outcome->jobs = static_cast<size_t>(num("jobs"));
+                outcome->generated =
+                    static_cast<size_t>(num("generated"));
+                outcome->replayed =
+                    static_cast<size_t>(num("replayed"));
+                outcome->wallSeconds = num("wall_seconds");
+            }
+            return true;
+        }
+        if (error)
+            *error = "unexpected frame '" + type->str +
+                     "' while streaming results";
+        return false;
+    }
+}
+
+namespace {
+
+/** One request, one reply of the expected type. */
+bool
+roundTrip(int fd, const std::string &request, const char *expectType,
+          std::string *replyPayload, std::string *error)
+{
+    if (fd < 0) {
+        if (error)
+            *error = "not connected";
+        return false;
+    }
+    if (!writeFrame(fd, request)) {
+        if (error)
+            *error = "writing request failed (daemon gone?)";
+        return false;
+    }
+    std::string payload;
+    FrameStatus st = readFrame(fd, payload);
+    if (st != FrameStatus::Ok) {
+        if (error)
+            *error = std::string("reading from daemon: ") +
+                     frameStatusName(st);
+        return false;
+    }
+    json::Value msg;
+    std::string parseError;
+    if (!json::parse(payload, msg, &parseError)) {
+        if (error)
+            *error = "daemon sent unparsable JSON: " + parseError;
+        return false;
+    }
+    if (isFailureFrame(msg, error))
+        return false;
+    const json::Value *type = msg.find("type");
+    if (type->str != expectType) {
+        if (error)
+            *error = std::string("expected '") + expectType +
+                     "', daemon sent '" + type->str + "'";
+        return false;
+    }
+    if (replyPayload)
+        *replyPayload = payload;
+    return true;
+}
+
+} // anonymous namespace
+
+bool
+Client::status(std::string *statusJson, std::string *error)
+{
+    return roundTrip(sock.get(), statusMessage(), "status_ok",
+                     statusJson, error);
+}
+
+bool
+Client::ping(std::string *error)
+{
+    return roundTrip(sock.get(), pingMessage(), "pong", nullptr,
+                     error);
+}
+
+bool
+Client::shutdown(std::string *error)
+{
+    return roundTrip(sock.get(), shutdownMessage(),
+                     "shutting_down", nullptr, error);
+}
+
+} // namespace serve
+} // namespace gdiff

@@ -1,0 +1,316 @@
+#include "serve/protocol.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "runner/sinks.hh"
+#include "serve/socket.hh"
+
+namespace gdiff {
+namespace serve {
+
+const char *
+frameStatusName(FrameStatus status)
+{
+    switch (status) {
+      case FrameStatus::Ok:
+        return "ok";
+      case FrameStatus::Eof:
+        return "eof";
+      case FrameStatus::TooLarge:
+        return "too-large";
+      case FrameStatus::Truncated:
+        return "truncated";
+      case FrameStatus::IoError:
+        return "io-error";
+    }
+    return "unknown";
+}
+
+FrameStatus
+readFrame(int fd, std::string &payload, size_t maxBytes)
+{
+    unsigned char prefix[4];
+    int r = readAll(fd, prefix, sizeof(prefix));
+    if (r == 0)
+        return FrameStatus::Eof;
+    if (r == -2)
+        return FrameStatus::Truncated;
+    if (r < 0)
+        return FrameStatus::IoError;
+    uint32_t len = uint32_t(prefix[0]) | uint32_t(prefix[1]) << 8 |
+                   uint32_t(prefix[2]) << 16 |
+                   uint32_t(prefix[3]) << 24;
+    if (len > maxBytes)
+        return FrameStatus::TooLarge;
+    payload.resize(len);
+    if (len == 0)
+        return FrameStatus::Ok;
+    r = readAll(fd, payload.data(), len);
+    if (r == 1)
+        return FrameStatus::Ok;
+    // EOF anywhere inside the payload (even exactly at its start) is
+    // a truncated frame; only a genuine read error is IoError.
+    return r == -1 ? FrameStatus::IoError : FrameStatus::Truncated;
+}
+
+bool
+writeFrame(int fd, std::string_view payload, size_t maxBytes)
+{
+    if (payload.size() > maxBytes)
+        return false;
+    uint32_t len = static_cast<uint32_t>(payload.size());
+    unsigned char prefix[4] = {
+        static_cast<unsigned char>(len),
+        static_cast<unsigned char>(len >> 8),
+        static_cast<unsigned char>(len >> 16),
+        static_cast<unsigned char>(len >> 24),
+    };
+    // One coalesced buffer per frame: a frame is small relative to a
+    // syscall, and partial interleaving from two buffers would let a
+    // failed second write desynchronize the stream.
+    std::string wire;
+    wire.reserve(sizeof(prefix) + payload.size());
+    wire.append(reinterpret_cast<const char *>(prefix),
+                sizeof(prefix));
+    wire.append(payload.data(), payload.size());
+    return writeAll(fd, wire.data(), wire.size());
+}
+
+namespace {
+
+std::string
+quoted(const std::string &s)
+{
+    return '"' + json::escape(s) + '"';
+}
+
+} // anonymous namespace
+
+std::string
+submitMessage(const std::string &client, const std::string &grid,
+              uint64_t instructions, uint64_t warmup)
+{
+    std::string msg = "{\"type\":\"submit\",\"client\":" +
+                      quoted(client) + ",\"grid\":" + quoted(grid);
+    char buf[96];
+    if (instructions != 0) {
+        std::snprintf(buf, sizeof(buf),
+                      ",\"instructions\":%" PRIu64, instructions);
+        msg += buf;
+    }
+    if (warmup != 0) {
+        std::snprintf(buf, sizeof(buf), ",\"warmup\":%" PRIu64,
+                      warmup);
+        msg += buf;
+    }
+    msg += '}';
+    return msg;
+}
+
+std::string
+statusMessage()
+{
+    return "{\"type\":\"status\"}";
+}
+
+std::string
+pingMessage()
+{
+    return "{\"type\":\"ping\"}";
+}
+
+std::string
+shutdownMessage()
+{
+    return "{\"type\":\"shutdown\"}";
+}
+
+std::string
+acceptedMessage(uint64_t sweep, size_t jobs)
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"type\":\"accepted\",\"sweep\":%" PRIu64
+                  ",\"jobs\":%zu}",
+                  sweep, jobs);
+    return buf;
+}
+
+std::string
+rejectedMessage(const std::string &reason, size_t queued,
+                size_t capacity)
+{
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  ",\"queued\":%zu,\"capacity\":%zu}", queued,
+                  capacity);
+    return "{\"type\":\"rejected\",\"reason\":" + quoted(reason) + buf;
+}
+
+std::string
+errorMessage(const std::string &message)
+{
+    return "{\"type\":\"error\",\"message\":" + quoted(message) + "}";
+}
+
+std::string
+jobMessage(uint64_t sweep, const runner::JobRecord &rec)
+{
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"type\":\"job\",\"sweep\":%" PRIu64
+                  ",\"record\":",
+                  sweep);
+    std::string msg = buf;
+    msg += runner::JsonlSink::deterministicJson(rec);
+    std::snprintf(buf, sizeof(buf),
+                  ",\"wall_seconds\":%.6f,"
+                  "\"instructions_per_sec\":%.0f,"
+                  "\"trace_source\":\"%s\","
+                  "\"trace_generate_seconds\":%.6f}",
+                  rec.result.wallSeconds,
+                  rec.result.instructionsPerSec,
+                  rec.result.traceReplayed ? "replay" : "generate",
+                  rec.result.traceGenerateSeconds);
+    msg += buf;
+    return msg;
+}
+
+std::string
+sweepDoneMessage(uint64_t sweep, size_t jobs, size_t generated,
+                 size_t replayed, double wallSeconds)
+{
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"type\":\"sweep_done\",\"sweep\":%" PRIu64
+                  ",\"jobs\":%zu,\"generated\":%zu,\"replayed\":%zu,"
+                  "\"wall_seconds\":%.6f}",
+                  sweep, jobs, generated, replayed, wallSeconds);
+    return buf;
+}
+
+namespace {
+
+/** Fetch a numeric member or report which one is bad. */
+bool
+numberField(const json::Value &obj, const char *key, double &out,
+            std::string *error)
+{
+    const json::Value *v = obj.find(key);
+    if (!v || !v->isNumber()) {
+        if (error)
+            *error = std::string("job frame: missing or non-numeric "
+                                 "field '") +
+                     key + "'";
+        return false;
+    }
+    out = v->number;
+    return true;
+}
+
+} // anonymous namespace
+
+bool
+parseJobFrame(const json::Value &frame, runner::JobRecord &out,
+              std::string *error)
+{
+    const json::Value *record = frame.find("record");
+    if (!record || !record->isObject()) {
+        if (error)
+            *error = "job frame: missing 'record' object";
+        return false;
+    }
+
+    const json::Value *wl = record->find("workload");
+    const json::Value *mode = record->find("mode");
+    if (!wl || !wl->isString() || !mode || !mode->isString()) {
+        if (error)
+            *error = "job frame: record needs string 'workload' and "
+                     "'mode'";
+        return false;
+    }
+    runner::JobSpec spec;
+    spec.workload = wl->str;
+    if (mode->str == "profile") {
+        spec.mode = runner::JobMode::Profile;
+        const json::Value *p = record->find("predictor");
+        if (!p || !p->isString()) {
+            if (error)
+                *error = "job frame: profile record needs "
+                         "'predictor'";
+            return false;
+        }
+        spec.predictor = p->str;
+    } else if (mode->str == "pipeline") {
+        spec.mode = runner::JobMode::Pipeline;
+        const json::Value *s = record->find("scheme");
+        if (!s || !s->isString()) {
+            if (error)
+                *error = "job frame: pipeline record needs 'scheme'";
+            return false;
+        }
+        spec.scheme = s->str;
+    } else {
+        if (error)
+            *error = "job frame: unknown mode '" + mode->str + "'";
+        return false;
+    }
+
+    double order, table, seed, instructions, warmup, index;
+    if (!numberField(*record, "order", order, error) ||
+        !numberField(*record, "table", table, error) ||
+        !numberField(*record, "seed", seed, error) ||
+        !numberField(*record, "instructions", instructions, error) ||
+        !numberField(*record, "warmup", warmup, error) ||
+        !numberField(*record, "index", index, error))
+        return false;
+    spec.order = static_cast<unsigned>(order);
+    spec.tableEntries = static_cast<uint64_t>(table);
+    spec.seed = static_cast<uint64_t>(seed);
+    spec.instructions = static_cast<uint64_t>(instructions);
+    spec.warmup = static_cast<uint64_t>(warmup);
+
+    const json::Value *metrics = record->find("metrics");
+    if (!metrics || !metrics->isObject()) {
+        if (error)
+            *error = "job frame: record needs a 'metrics' object";
+        return false;
+    }
+    runner::JobResult result;
+    // Document order is insertion order, so the rebuilt metrics list
+    // matches the producing job's exactly.
+    for (const auto &[name, value] : metrics->object) {
+        if (!value.isNumber()) {
+            if (error)
+                *error = "job frame: metric '" + name +
+                         "' is not a number";
+            return false;
+        }
+        result.metrics.emplace_back(name, value.number);
+    }
+
+    // Timing metadata rides outside the record; tolerate absence so
+    // older daemons stay readable.
+    if (const json::Value *v = frame.find("wall_seconds");
+        v && v->isNumber())
+        result.wallSeconds = v->number;
+    if (const json::Value *v = frame.find("instructions_per_sec");
+        v && v->isNumber())
+        result.instructionsPerSec = v->number;
+    if (const json::Value *v = frame.find("trace_source");
+        v && v->isString())
+        result.traceReplayed = v->str == "replay";
+    if (const json::Value *v = frame.find("trace_generate_seconds");
+        v && v->isNumber())
+        result.traceGenerateSeconds = v->number;
+
+    out.index = static_cast<size_t>(index);
+    out.spec = std::move(spec);
+    out.result = std::move(result);
+    return true;
+}
+
+} // namespace serve
+} // namespace gdiff

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The gdiffd wire protocol: length-prefixed JSON frames.
+ *
+ * Every message — request or response — is one JSON object preceded
+ * by a 4-byte little-endian byte count. The prefix keeps framing
+ * trivially resynchronizable and lets the receiver reject oversized
+ * or truncated frames before touching the payload; the JSON body
+ * keeps the messages self-describing and debuggable with socat.
+ *
+ * Requests (client → daemon):
+ *   {"type":"submit","client":"bench-0","grid":"workload=mcf;...",
+ *    "instructions":100000,"warmup":20000}
+ *   {"type":"status"}
+ *   {"type":"ping"}
+ *   {"type":"shutdown"}           drain and exit (admin convenience;
+ *                                 SIGTERM does the same)
+ *
+ * Responses (daemon → client):
+ *   {"type":"accepted","sweep":1,"jobs":8}
+ *   {"type":"rejected","reason":"...","queued":N,"capacity":N}
+ *   {"type":"error","message":"..."}       malformed/invalid request
+ *   {"type":"job","record":{...},...}      one per completed job
+ *   {"type":"sweep_done","sweep":1,...}    after the last job
+ *   {"type":"status_ok",...}, {"type":"pong"}, {"type":"shutting_down"}
+ *
+ * The "record" object inside a job frame is exactly
+ * runner::JsonlSink::deterministicJson, so a client that re-renders
+ * received records through the stock sinks produces files
+ * bit-identical to an in-process gdiffrun of the same grid (doubles
+ * travel as %.17g and round-trip exactly).
+ */
+
+#ifndef GDIFF_SERVE_PROTOCOL_HH
+#define GDIFF_SERVE_PROTOCOL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "runner/job.hh"
+#include "util/json.hh"
+
+namespace gdiff {
+namespace serve {
+
+/// Frames larger than this are rejected without reading the payload —
+/// a garbage or hostile length prefix must not allocate gigabytes.
+constexpr size_t kMaxFrameBytes = size_t(16) << 20;
+
+/** Outcome of reading one frame. */
+enum class FrameStatus {
+    Ok,        ///< a complete frame was read
+    Eof,       ///< clean end of stream between frames
+    TooLarge,  ///< length prefix exceeds the frame cap
+    Truncated, ///< stream ended inside a prefix or payload
+    IoError,   ///< read failed
+};
+
+/** @return a short name for @p status ("ok", "eof", ...). */
+const char *frameStatusName(FrameStatus status);
+
+/**
+ * Read one length-prefixed frame from @p fd into @p payload.
+ * Blocks until a full frame, EOF, or an error.
+ */
+FrameStatus readFrame(int fd, std::string &payload,
+                      size_t maxBytes = kMaxFrameBytes);
+
+/**
+ * Write @p payload as one length-prefixed frame.
+ * @return false when the peer is gone or the frame exceeds
+ * @p maxBytes.
+ */
+bool writeFrame(int fd, std::string_view payload,
+                size_t maxBytes = kMaxFrameBytes);
+
+/// @name Message constructors
+/// @{
+
+/** Submit request for @p grid. Zero instructions/warmup fields are
+ * omitted and the daemon applies its grid defaults. */
+std::string submitMessage(const std::string &client,
+                          const std::string &grid,
+                          uint64_t instructions, uint64_t warmup);
+
+std::string statusMessage();
+std::string pingMessage();
+std::string shutdownMessage();
+
+std::string acceptedMessage(uint64_t sweep, size_t jobs);
+std::string rejectedMessage(const std::string &reason, size_t queued,
+                            size_t capacity);
+std::string errorMessage(const std::string &message);
+
+/** One completed job: the deterministic record plus timing args. */
+std::string jobMessage(uint64_t sweep, const runner::JobRecord &rec);
+
+std::string sweepDoneMessage(uint64_t sweep, size_t jobs,
+                             size_t generated, size_t replayed,
+                             double wallSeconds);
+/// @}
+
+/**
+ * Rebuild the JobRecord a job frame carries.
+ *
+ * @param frame the parsed {"type":"job",...} object.
+ * @return true on success; on failure @p error (if non-null) says
+ * which field was missing or mistyped.
+ */
+bool parseJobFrame(const json::Value &frame, runner::JobRecord &out,
+                   std::string *error);
+
+} // namespace serve
+} // namespace gdiff
+
+#endif // GDIFF_SERVE_PROTOCOL_HH

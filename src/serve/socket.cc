@@ -1,0 +1,153 @@
+#include "serve/socket.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "util/logging.hh"
+
+namespace gdiff {
+namespace serve {
+
+void
+Fd::reset()
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+}
+
+namespace {
+
+/** Fill a sockaddr_un for @p path; false if the path is too long. */
+bool
+makeAddr(const std::string &path, sockaddr_un &addr)
+{
+    if (path.empty() || path.size() >= sizeof(addr.sun_path))
+        return false;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return true;
+}
+
+} // anonymous namespace
+
+Fd
+listenUnix(const std::string &path, std::string *error)
+{
+    sockaddr_un addr;
+    if (!makeAddr(path, addr)) {
+        if (error)
+            *error = "socket path '" + path +
+                     "' is empty or too long for sun_path";
+        return Fd();
+    }
+    Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd.valid()) {
+        if (error)
+            *error = std::string("socket: ") + std::strerror(errno);
+        return Fd();
+    }
+    // A socket file left by a crashed daemon would make bind fail
+    // with EADDRINUSE even though nobody is listening.
+    ::unlink(path.c_str());
+    if (::bind(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        if (error)
+            *error = "bind '" + path +
+                     "': " + std::strerror(errno);
+        return Fd();
+    }
+    if (::listen(fd.get(), 64) != 0) {
+        if (error)
+            *error = "listen '" + path +
+                     "': " + std::strerror(errno);
+        return Fd();
+    }
+    return fd;
+}
+
+Fd
+acceptUnix(int listenFd)
+{
+    for (;;) {
+        int fd = ::accept(listenFd, nullptr, nullptr);
+        if (fd >= 0)
+            return Fd(fd);
+        if (errno == EINTR)
+            continue;
+        // EINVAL: the listener was shutdown() to stop the accept
+        // loop; anything else also ends accepting.
+        return Fd();
+    }
+}
+
+Fd
+connectUnix(const std::string &path, std::string *error)
+{
+    sockaddr_un addr;
+    if (!makeAddr(path, addr)) {
+        if (error)
+            *error = "socket path '" + path +
+                     "' is empty or too long for sun_path";
+        return Fd();
+    }
+    Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd.valid()) {
+        if (error)
+            *error = std::string("socket: ") + std::strerror(errno);
+        return Fd();
+    }
+    if (::connect(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        if (error)
+            *error = "connect '" + path +
+                     "': " + std::strerror(errno);
+        return Fd();
+    }
+    return fd;
+}
+
+bool
+writeAll(int fd, const void *data, size_t len)
+{
+    const char *p = static_cast<const char *>(data);
+    while (len > 0) {
+        ssize_t n = ::send(fd, p, len, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += n;
+        len -= static_cast<size_t>(n);
+    }
+    return true;
+}
+
+int
+readAll(int fd, void *data, size_t len)
+{
+    char *p = static_cast<char *>(data);
+    size_t got = 0;
+    while (got < len) {
+        ssize_t n = ::recv(fd, p + got, len - got, 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return -1;
+        }
+        if (n == 0)
+            return got == 0 ? 0 : -2;
+        got += static_cast<size_t>(n);
+    }
+    return 1;
+}
+
+} // namespace serve
+} // namespace gdiff

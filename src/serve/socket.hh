@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Minimal Unix-domain stream-socket helpers for the serving layer.
+ *
+ * Everything the daemon and client need and nothing more: an RAII fd
+ * wrapper, listen/accept/connect on a filesystem socket path, and
+ * loop-until-done read/write that hide EINTR and partial transfers.
+ * Writes use MSG_NOSIGNAL so a peer that disappeared mid-stream shows
+ * up as an error return instead of SIGPIPE killing the daemon.
+ */
+
+#ifndef GDIFF_SERVE_SOCKET_HH
+#define GDIFF_SERVE_SOCKET_HH
+
+#include <cstddef>
+#include <string>
+
+namespace gdiff {
+namespace serve {
+
+/** Owning file descriptor; closes on destruction, movable. */
+class Fd
+{
+  public:
+    Fd() = default;
+    explicit Fd(int fd) : fd(fd) {}
+    ~Fd() { reset(); }
+
+    Fd(const Fd &) = delete;
+    Fd &operator=(const Fd &) = delete;
+
+    Fd(Fd &&o) noexcept : fd(o.fd) { o.fd = -1; }
+    Fd &
+    operator=(Fd &&o) noexcept
+    {
+        if (this != &o) {
+            reset();
+            fd = o.fd;
+            o.fd = -1;
+        }
+        return *this;
+    }
+
+    /** @return the raw descriptor (-1 when empty). */
+    int get() const { return fd; }
+
+    bool valid() const { return fd >= 0; }
+
+    /** Close the held descriptor (no-op when empty). */
+    void reset();
+
+    /** Release ownership without closing. */
+    int
+    release()
+    {
+        int f = fd;
+        fd = -1;
+        return f;
+    }
+
+  private:
+    int fd = -1;
+};
+
+/**
+ * Bind and listen on a Unix-domain stream socket at @p path. A stale
+ * socket file from a crashed daemon is unlinked first.
+ *
+ * @return the listening fd, or an invalid Fd with @p error set.
+ */
+Fd listenUnix(const std::string &path, std::string *error);
+
+/**
+ * Accept one connection on @p listenFd.
+ *
+ * @return the connection fd, or an invalid Fd once the listener has
+ * been shut down (or on error).
+ */
+Fd acceptUnix(int listenFd);
+
+/**
+ * Connect to the Unix-domain socket at @p path.
+ *
+ * @return the connected fd, or an invalid Fd with @p error set.
+ */
+Fd connectUnix(const std::string &path, std::string *error);
+
+/**
+ * Write all @p len bytes to @p fd, retrying on EINTR and short
+ * writes. @return false on any other error (e.g. the peer vanished).
+ */
+bool writeAll(int fd, const void *data, size_t len);
+
+/**
+ * Read exactly @p len bytes from @p fd.
+ *
+ * @return 1 on success, 0 on clean EOF *before the first byte*,
+ * -2 on EOF in the middle of the requested span (a truncated frame),
+ * and -1 on a read error.
+ */
+int readAll(int fd, void *data, size_t len);
+
+} // namespace serve
+} // namespace gdiff
+
+#endif // GDIFF_SERVE_SOCKET_HH

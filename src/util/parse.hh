@@ -21,6 +21,35 @@
 namespace gdiff {
 
 /**
+ * Parse a non-negative decimal integer strictly, reporting failure
+ * instead of terminating — the form servers use on untrusted input.
+ *
+ * Rejects empty strings, leading signs, trailing garbage, values that
+ * overflow uint64_t, and (unless @p allow_zero) zero.
+ *
+ * @return true and set @p out on success.
+ */
+inline bool
+tryParseU64(const char *text, uint64_t &out, bool allow_zero = false)
+{
+    if (text == nullptr || *text == '\0')
+        return false;
+    // strtoull accepts "+", "-" (wrapping!) and leading whitespace;
+    // a value must start with a digit outright.
+    if (*text < '0' || *text > '9')
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(text, &end, 10);
+    if (errno == ERANGE || end == text || *end != '\0')
+        return false;
+    if (v == 0 && !allow_zero)
+        return false;
+    out = static_cast<uint64_t>(v);
+    return true;
+}
+
+/**
  * Parse a non-negative decimal integer flag value strictly.
  *
  * Rejects (via fatal()) empty strings, leading signs, trailing
@@ -39,8 +68,6 @@ parseU64Flag(const char *flag, const char *text, bool allow_zero = false)
 {
     if (text == nullptr || *text == '\0')
         fatal("%s: empty numeric value", flag);
-    // strtoull accepts "+", "-" (wrapping!) and leading whitespace;
-    // a flag value must start with a digit outright.
     if (*text < '0' || *text > '9')
         fatal("%s: invalid number '%s'", flag, text);
     errno = 0;

@@ -112,6 +112,7 @@ TraceCache::acquire(const std::string &workload, uint64_t seed,
             fut = it->second.future;
         } else {
             builder = true;
+            ++counters.misses;
             fut = promise.get_future().share();
             Entry e;
             e.future = fut;
@@ -178,7 +179,7 @@ TraceCache::evictLocked()
 }
 
 TraceCache::Stats
-TraceCache::stats() const
+TraceCache::snapshot() const
 {
     std::lock_guard<std::mutex> guard(lock);
     Stats s = counters;

@@ -115,6 +115,10 @@ class TraceCache
     struct Stats
     {
         uint64_t hits = 0;        ///< served from a resident trace
+        /// lookups that found no entry (every miss triggers a
+        /// generation, so misses == generations once all in-flight
+        /// materializations finish)
+        uint64_t misses = 0;
         uint64_t generations = 0; ///< functional materializations
         uint64_t evictions = 0;   ///< entries dropped by LRU
         size_t residentBytes = 0; ///< bytes currently cached
@@ -142,8 +146,11 @@ class TraceCache
     Acquired acquire(const std::string &workload, uint64_t seed,
                      uint64_t records);
 
-    /** @return a snapshot of the counters. */
-    Stats stats() const;
+    /**
+     * @return a point-in-time snapshot of the counters. Printed by
+     * the gdiffrun summary and served by the gdiffd status endpoint.
+     */
+    Stats snapshot() const;
 
     /** Drop every entry and reset the counters (tests). */
     void clear();

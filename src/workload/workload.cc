@@ -1,5 +1,7 @@
 #include "workload/workload.hh"
 
+#include <algorithm>
+
 #include "util/logging.hh"
 #include "workload/kernels.hh"
 #include "workload/micro.hh"
@@ -37,6 +39,18 @@ specWorkloadNames()
         "parser", "perl", "twolf", "vortex", "vpr",
     };
     return names;
+}
+
+bool
+knownWorkload(const std::string &name)
+{
+    if (name.rfind("micro.", 0) == 0) {
+        const auto &micro = microWorkloadNames();
+        return std::find(micro.begin(), micro.end(),
+                         name.substr(6)) != micro.end();
+    }
+    const auto &spec = specWorkloadNames();
+    return std::find(spec.begin(), spec.end(), name) != spec.end();
 }
 
 Workload

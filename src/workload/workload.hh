@@ -59,6 +59,13 @@ struct Workload
 const std::vector<std::string> &specWorkloadNames();
 
 /**
+ * @return whether makeWorkload() would accept @p name — a spec kernel
+ * or a "micro."-prefixed microbenchmark. Lets servers validate
+ * untrusted names without tripping makeWorkload's fatal().
+ */
+bool knownWorkload(const std::string &name);
+
+/**
  * Construct a workload by name.
  *
  * @param name one of specWorkloadNames().

@@ -298,6 +298,55 @@ TEST(SweepRunnerTest, ManifestResumeSkipsCompletedJobs)
     std::remove(manifest.c_str());
 }
 
+TEST(SweepRunnerTest, CancelFlagStopsDispatchButKeepsCompletedWork)
+{
+    SweepSpec spec = smallGrid();
+
+    // Pre-set cancellation: nothing may dispatch, but the sinks must
+    // still be finished so buffered output flushes.
+    {
+        std::atomic<bool> cancel{true};
+        SweepRunner sweep(spec);
+        CollectingSink collect;
+        sweep.addSink(collect);
+        SweepOptions opt;
+        opt.cancel = &cancel;
+        SweepSummary s = sweep.run(opt);
+        EXPECT_EQ(s.ranJobs, 0u);
+        EXPECT_EQ(s.canceledJobs, 24u);
+        EXPECT_TRUE(collect.records().empty());
+    }
+
+    // Cancel after the first job reaches a sink: the remaining grid
+    // is skipped, and everything that completed stays delivered.
+    {
+        std::atomic<bool> cancel{false};
+        SweepRunner sweep(spec);
+        CollectingSink collect;
+
+        struct Tripwire : ResultSink
+        {
+            std::atomic<bool> *flag;
+            explicit Tripwire(std::atomic<bool> *flag) : flag(flag) {}
+            void onJob(const JobRecord &) override
+            {
+                flag->store(true, std::memory_order_relaxed);
+            }
+        } trip(&cancel);
+
+        sweep.addSink(trip);
+        sweep.addSink(collect);
+        SweepOptions opt;
+        opt.threads = 1;
+        opt.cancel = &cancel;
+        SweepSummary s = sweep.run(opt);
+        EXPECT_EQ(s.ranJobs, 1u);
+        EXPECT_EQ(s.canceledJobs, 23u);
+        EXPECT_EQ(s.ranJobs + s.canceledJobs, s.totalJobs);
+        EXPECT_EQ(collect.records().size(), 1u);
+    }
+}
+
 TEST(ManifestTest, PersistsAcrossReopen)
 {
     std::string path = tempPath("manifest.txt");

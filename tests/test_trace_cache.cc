@@ -144,16 +144,19 @@ TEST(TraceCacheTest, SecondAcquireIsAHit)
     EXPECT_FALSE(b.generated);
     EXPECT_EQ(b.generateSeconds, 0.0);
 
-    TraceCache::Stats s = cache.stats();
+    TraceCache::Stats s = cache.snapshot();
     EXPECT_EQ(s.generations, 1u);
     EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.misses, 1u); // the cold acquire
     EXPECT_EQ(s.entries, 1u);
     EXPECT_GT(s.residentBytes, 0u);
 
     // Distinct triples (different seed / budget) are distinct entries.
     cache.acquire("micro.stride", 2, 6000);
     cache.acquire("micro.stride", 1, 7000);
-    EXPECT_EQ(cache.stats().generations, 3u);
+    EXPECT_EQ(cache.snapshot().generations, 3u);
+    // Settled cache: every miss became exactly one generation.
+    EXPECT_EQ(cache.snapshot().misses, cache.snapshot().generations);
 }
 
 TEST(TraceCacheTest, ConcurrentAcquiresGenerateExactlyOnce)
@@ -175,8 +178,8 @@ TEST(TraceCacheTest, ConcurrentAcquiresGenerateExactlyOnce)
         th.join();
 
     EXPECT_EQ(generatedCount.load(), 1);
-    EXPECT_EQ(cache.stats().generations, 1u);
-    EXPECT_EQ(cache.stats().hits,
+    EXPECT_EQ(cache.snapshot().generations, 1u);
+    EXPECT_EQ(cache.snapshot().hits,
               static_cast<uint64_t>(nThreads - 1));
 
     // Every thread got a working, independent replay cursor.
@@ -199,14 +202,14 @@ TEST(TraceCacheTest, LruEvictionHonoursByteCap)
 
     cache.acquire("micro.stride", 1, 1000);
     cache.acquire("micro.stride", 2, 1000);
-    EXPECT_EQ(cache.stats().evictions, 1u);
-    EXPECT_EQ(cache.stats().entries, 1u);
-    EXPECT_LE(cache.stats().residentBytes, sizeof(TraceChunk));
+    EXPECT_EQ(cache.snapshot().evictions, 1u);
+    EXPECT_EQ(cache.snapshot().entries, 1u);
+    EXPECT_LE(cache.snapshot().residentBytes, sizeof(TraceChunk));
 
     // Seed 1 was evicted, so asking again regenerates.
     auto again = cache.acquire("micro.stride", 1, 1000);
     EXPECT_TRUE(again.generated);
-    EXPECT_EQ(cache.stats().generations, 3u);
+    EXPECT_EQ(cache.snapshot().generations, 3u);
 
     // An evicted trace still replays through live sources: the
     // shared_ptr keeps the buffer alive past eviction.
@@ -216,8 +219,8 @@ TEST(TraceCacheTest, LruEvictionHonoursByteCap)
     EXPECT_TRUE(held.source->next(r));
 
     cache.clear();
-    EXPECT_EQ(cache.stats().entries, 0u);
-    EXPECT_EQ(cache.stats().residentBytes, 0u);
+    EXPECT_EQ(cache.snapshot().entries, 0u);
+    EXPECT_EQ(cache.snapshot().residentBytes, 0u);
 }
 
 // --------------------------------------------- sweep-level contract
@@ -273,7 +276,7 @@ TEST(TraceCacheSweepTest, SweepGeneratesOncePerTriple)
     EXPECT_EQ(s.ranJobs, 24u);
     EXPECT_EQ(s.generatedTraces, 6u);
     EXPECT_EQ(s.replayedJobs, 18u);
-    EXPECT_EQ(cache.stats().generations, 6u);
+    EXPECT_EQ(cache.snapshot().generations, 6u);
     size_t replayed = 0;
     for (const auto &r : collect.records())
         replayed += r.result.traceReplayed ? 1 : 0;
