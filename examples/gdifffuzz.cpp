@@ -51,6 +51,7 @@ struct Options
     unsigned order = 0; // 0 = per-pair default
     std::vector<std::string> pairs;
     bool mutate = false;
+    bool batch = false;
     std::string replay;
     std::string outDir = ".";
     bool pipelinePhase = true;
@@ -68,6 +69,8 @@ usage(const char *argv0)
         "  --order=N      history/window order (0 = pair default)\n"
         "  --mutate       corrupt each oracle on purpose; expect the\n"
         "                 harness to catch and shrink the divergence\n"
+        "  --batch        also replay the stream scalar-vs-batch\n"
+        "                 through every batched predictor family\n"
         "  --replay=FILE  diff a repro artifact instead of fuzzing\n"
         "  --out-dir=DIR  where repro artifacts go (default .)\n"
         "  --no-pipeline  skip the pipeline invariant phase\n"
@@ -120,6 +123,8 @@ parse(int argc, char **argv)
         } else if (take("--out-dir", o.outDir)) {
         } else if (a == "--mutate") {
             o.mutate = true;
+        } else if (a == "--batch") {
+            o.batch = true;
         } else if (a == "--no-pipeline") {
             o.pipelinePhase = false;
         } else {
@@ -180,6 +185,57 @@ diffPair(const Options &o, const std::string &name,
                 name.c_str(), stream.size(), shrunk.size(),
                 path.c_str());
     return false;
+}
+
+/**
+ * Replay the stream scalar-vs-batch through one predictor family, at
+ * a couple of deliberately awkward chunk sizes (a small prime that
+ * never fills a SIMD register cleanly, and a large power of two that
+ * crosses every internal buffer boundary). On divergence, shrink with
+ * the same ddmin machinery and write a batch-<family> repro artifact
+ * that --replay --batch accepts back. @return true if clean.
+ */
+bool
+diffBatchFamily(const Options &o, const std::string &name,
+                const std::vector<check::FuzzRecord> &stream)
+{
+    static const uint32_t kLanes[] = {7, 1024};
+    for (uint32_t lanes : kLanes) {
+        auto scalar = check::makeProduction(name, o.order);
+        auto batch = check::makeProduction(name, o.order);
+        auto divergence =
+            check::diffScalarVsBatch(*scalar, *batch, stream, lanes);
+        if (!divergence)
+            continue;
+
+        std::printf("gdifffuzz: batch %-10s DIVERGED (%u lanes): %s\n",
+                    name.c_str(), lanes,
+                    divergence->describe().c_str());
+
+        auto still_fails =
+            [&](const std::vector<check::FuzzRecord> &s) {
+                auto s2 = check::makeProduction(name, o.order);
+                auto b2 = check::makeProduction(name, o.order);
+                return check::diffScalarVsBatch(*s2, *b2, s, lanes)
+                    .has_value();
+            };
+        std::vector<check::FuzzRecord> shrunk =
+            check::shrinkStream(stream, still_fails);
+        std::string path =
+            o.outDir + "/" +
+            check::reproArtifactName("batch-" + name, o.seed);
+        check::writeReproArtifact(path, shrunk);
+        std::printf("gdifffuzz: batch %-10s shrunk %zu -> %zu "
+                    "records, repro written to %s\n",
+                    name.c_str(), stream.size(), shrunk.size(),
+                    path.c_str());
+        return false;
+    }
+    std::printf("gdifffuzz: batch %-10s ok (%zu records x %zu chunk "
+                "sizes)\n",
+                name.c_str(), stream.size(),
+                sizeof(kLanes) / sizeof(kLanes[0]));
+    return true;
 }
 
 /**
@@ -264,6 +320,11 @@ main(int argc, char **argv)
         } else if (!clean) {
             ++failures;
         }
+    }
+
+    if (o.batch) {
+        for (const auto &family : check::batchFamilyNames())
+            failures += !diffBatchFamily(o, family, stream);
     }
 
     if (o.pipelinePhase && o.replay.empty())

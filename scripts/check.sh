@@ -17,6 +17,16 @@ done
 # trace cache has lost its reason to exist.
 ./build/bench/trace_replay_throughput \
     --instructions=500000 --warmup=0 --require-speedup=3
+# Batch-vs-scalar prediction gate: the fused batch protocol must hold
+# >= 2x records/sec on the gated families (stride, fcm, gdiff), with
+# per-trial checksum identity between the two paths.
+./build/bench/perf_predictors --require-batch-speedup=2 \
+    --json=build/BENCH_batch_predictors.json
+# Batch identity fuzz: scalar-vs-batch differ over every batched
+# family, under both kernel sets (forced-scalar first).
+GDIFF_SIMD=scalar ./build/examples/gdifffuzz --cases=1500 --seed=5 \
+    --batch --no-pipeline
+./build/examples/gdifffuzz --cases=1500 --seed=5 --batch --no-pipeline
 # The golden-number suite pins Table 2 / Fig. 19 against
 # tests/golden/; any model drift fails here with a value diff
 # (regenerate deliberately with: test_paper_golden --update-golden).

@@ -1,5 +1,6 @@
 #include "check/differ.hh"
 
+#include <algorithm>
 #include <cinttypes>
 
 #include "util/logging.hh"
@@ -47,6 +48,48 @@ diffStream(predictors::ValuePredictor &production,
         }
         production.update(r.pc, r.value);
         oracle.update(r.pc, r.value);
+    }
+    return std::nullopt;
+}
+
+std::optional<Divergence>
+diffScalarVsBatch(predictors::ValuePredictor &scalar,
+                  predictors::ValuePredictor &batch,
+                  const std::vector<FuzzRecord> &stream,
+                  uint32_t chunk_lanes)
+{
+    GDIFF_ASSERT(chunk_lanes > 0, "chunk_lanes must be >= 1");
+    predictors::PredictionBatch out;
+    std::vector<uint64_t> pcs(chunk_lanes);
+    std::vector<int64_t> actuals(chunk_lanes);
+    size_t base = 0;
+    while (base < stream.size()) {
+        uint32_t n = static_cast<uint32_t>(
+            std::min<size_t>(chunk_lanes, stream.size() - base));
+        for (uint32_t l = 0; l < n; ++l) {
+            pcs[l] = stream[base + l].pc;
+            actuals[l] = stream[base + l].value;
+        }
+        out.reset(n);
+        batch.predictUpdateBatch(pcs.data(), actuals.data(), n, out);
+        for (uint32_t l = 0; l < n; ++l) {
+            int64_t sv = 0;
+            bool sp = scalar.predict(pcs[l], sv);
+            scalar.update(pcs[l], actuals[l]);
+            bool bp = out.predicted[l] != 0;
+            if (sp != bp || (sp && sv != out.value[l])) {
+                Divergence d;
+                d.index = base + l;
+                d.pc = pcs[l];
+                d.prodPredicted = bp;
+                d.refPredicted = sp;
+                d.prodValue = out.value[l];
+                d.refValue = sv;
+                d.updates = base + l;
+                return d;
+            }
+        }
+        base += n;
     }
     return std::nullopt;
 }

@@ -66,6 +66,26 @@ diffStream(predictors::ValuePredictor &production,
            const std::vector<FuzzRecord> &stream);
 
 /**
+ * Replay the stream through the scalar and batch paths of the *same*
+ * predictor family and assert prediction-by-prediction identity.
+ *
+ * `batch` is driven chunk-at-a-time through predictUpdateBatch() in
+ * blocks of `chunk_lanes`; `scalar` is driven record-at-a-time through
+ * the virtual predict()/update() pair. Both instances must be freshly
+ * constructed with identical configuration. On disagreement the
+ * returned Divergence reports the batch path as "production" and the
+ * scalar path as "oracle", so shrink/artifact tooling works unchanged.
+ *
+ * @param chunk_lanes lanes per batch call (>= 1); pass awkward sizes
+ *                    (1, primes, > SIMD width) to probe tail handling.
+ */
+std::optional<Divergence>
+diffScalarVsBatch(predictors::ValuePredictor &scalar,
+                  predictors::ValuePredictor &batch,
+                  const std::vector<FuzzRecord> &stream,
+                  uint32_t chunk_lanes);
+
+/**
  * Stable 64-bit digest of a stream (FNV-1a over pc/value pairs) —
  * the reproducibility fingerprint gdifffuzz prints so two runs with
  * the same seed can be byte-compared.

@@ -1,9 +1,12 @@
 #include "check/reference.hh"
 
 #include "core/gdiff.hh"
+#include "core/gdiff2.hh"
 #include "predictors/fcm.hh"
 #include "predictors/gfcm.hh"
+#include "predictors/hybrid.hh"
 #include "predictors/last_value.hh"
+#include "predictors/pi.hh"
 #include "predictors/stride.hh"
 #include "util/bits.hh"
 #include "util/logging.hh"
@@ -306,6 +309,57 @@ makePair(const std::string &name, unsigned order)
               name.c_str());
     }
     return pair;
+}
+
+const std::vector<std::string> &
+batchFamilyNames()
+{
+    static const std::vector<std::string> names = {
+        "last_value", "last_n", "stride", "pi",     "fcm",
+        "dfcm",       "gfcm",   "hybrid", "gdiff",  "gdiff2"};
+    return names;
+}
+
+std::unique_ptr<predictors::ValuePredictor>
+makeProduction(const std::string &name, unsigned order)
+{
+    if (name == "last_value")
+        return std::make_unique<predictors::LastValuePredictor>(0);
+    if (name == "last_n")
+        return std::make_unique<predictors::LastNValuePredictor>(4, 0);
+    if (name == "stride")
+        return std::make_unique<predictors::StridePredictor>(0);
+    if (name == "pi")
+        return std::make_unique<predictors::PiPredictor>(0);
+    if (name == "fcm" || name == "dfcm") {
+        predictors::FcmConfig cfg;
+        cfg.level1Entries = 0;
+        cfg.order = order ? order : 3;
+        if (name == "dfcm")
+            return std::make_unique<predictors::DfcmPredictor>(cfg);
+        return std::make_unique<predictors::FcmPredictor>(cfg);
+    }
+    if (name == "gfcm") {
+        predictors::GFcmConfig cfg;
+        cfg.order = order ? order : 4;
+        return std::make_unique<predictors::GFcmPredictor>(cfg);
+    }
+    if (name == "hybrid")
+        return std::make_unique<predictors::HybridLocalPredictor>(0);
+    if (name == "gdiff") {
+        core::GDiffConfig cfg;
+        cfg.order = order ? order : 8;
+        cfg.tableEntries = 0;
+        return std::make_unique<core::GDiffPredictor>(cfg);
+    }
+    if (name == "gdiff2") {
+        core::GDiff2Config cfg;
+        cfg.order = order ? order : 8;
+        cfg.tableEntries = 0;
+        return std::make_unique<core::GDiff2Predictor>(cfg);
+    }
+    fatal("unknown batch family '%s'", name.c_str());
+    return nullptr;
 }
 
 } // namespace check

@@ -262,6 +262,28 @@ const std::vector<std::string> &pairNames();
  */
 PredictorPair makePair(const std::string &name, unsigned order = 0);
 
+/**
+ * @return every production family with a batched implementation —
+ * the universe of the scalar-vs-batch differ (diffScalarVsBatch):
+ * last_value, last_n, stride, pi, fcm, dfcm, gfcm, hybrid, gdiff,
+ * gdiff2.
+ */
+const std::vector<std::string> &batchFamilyNames();
+
+/**
+ * Build one production predictor by family name. The scalar and batch
+ * paths live on the same object, so a scalar-vs-batch diff constructs
+ * two identically-configured instances and drives one through
+ * predict()/update() and the other through predictUpdateBatch().
+ * Unlimited first-level tables, as makePair(). Calls fatal() on an
+ * unknown name.
+ *
+ * @param name  one of batchFamilyNames().
+ * @param order history/window order; 0 picks the family default.
+ */
+std::unique_ptr<predictors::ValuePredictor>
+makeProduction(const std::string &name, unsigned order = 0);
+
 } // namespace check
 } // namespace gdiff
 

@@ -1,5 +1,7 @@
 #include "core/gdiff.hh"
 
+#include "util/simd.hh"
+
 namespace gdiff {
 namespace core {
 
@@ -84,6 +86,67 @@ GDiffPredictor::update(uint64_t pc, int64_t actual)
 {
     trainWithWindow(pc, gvq.visibleWindow(), actual);
     gvq.push(actual);
+}
+
+void
+GDiffPredictor::predictUpdateBatch(const uint64_t *pcs,
+                                   const int64_t *actuals, uint32_t n,
+                                   predictors::PredictionBatch &out)
+{
+    out.reset(n);
+    const unsigned order = cfg.order;
+    const unsigned delay = cfg.valueDelay;
+
+    // Linearize the stream: the queue's retained history (oldest
+    // first), then the batch's own actuals. Within the batch, lane
+    // l's visible window is the `order` stream values ending
+    // delay+1 before its own position — plain pointer arithmetic,
+    // where the scalar path re-walks the ring per record:
+    // window value k lives at wtop[-k] with wtop = ext+h+l-1-delay.
+    extScratch.resize(static_cast<size_t>(order) + delay + n);
+    const size_t h = gvq.copyRecent(extScratch.data());
+    for (uint32_t l = 0; l < n; ++l)
+        extScratch[h + l] = actuals[l];
+    const int64_t *const ext = extScratch.data();
+
+    std::array<int64_t, maxOrder> cur;
+    for (uint32_t l = 0; l < n; ++l) {
+        const int64_t actual = actuals[l];
+        const int64_t avail =
+            static_cast<int64_t>(h) + l - static_cast<int64_t>(delay);
+        const unsigned wcount =
+            avail <= 0 ? 0u
+                       : (avail < static_cast<int64_t>(order)
+                              ? static_cast<unsigned>(avail)
+                              : order);
+        Entry &e = table.lookup(pcs[l]);
+        if (wcount > 0) {
+            const int64_t *wtop = ext + (h + l - 1 - delay);
+            if (e.distance >= 0) {
+                unsigned k = static_cast<unsigned>(e.distance);
+                if (k < wcount && k < e.diffCount) {
+                    out.predicted[l] = 1;
+                    out.value[l] = wrapAdd(
+                        wtop[-static_cast<ptrdiff_t>(k)], e.diffs[k]);
+                }
+            }
+            simd::diffAgainstWindow(actual, wtop, cur.data(), wcount);
+            unsigned compare =
+                wcount < e.diffCount ? wcount : e.diffCount;
+            int match =
+                simd::firstEqual(cur.data(), e.diffs.data(), compare);
+            if (match >= 0)
+                e.distance = static_cast<int16_t>(match);
+            for (unsigned i = 0; i < wcount; ++i)
+                e.diffs[i] = cur[i];
+        }
+        // Stored diffs beyond diffCount are never read, so only the
+        // live prefix needs rewriting (the scalar path zero-fills).
+        e.diffCount = static_cast<uint8_t>(wcount);
+    }
+
+    for (uint32_t l = 0; l < n; ++l)
+        gvq.push(actuals[l]);
 }
 
 } // namespace core

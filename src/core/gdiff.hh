@@ -65,6 +65,17 @@ class GDiffPredictor : public predictors::ValuePredictor
      * visible window, then push the value into the queue.
      */
     void update(uint64_t pc, int64_t actual) override;
+
+    /**
+     * Fused batch over the internal queue: linearizes the queue plus
+     * the batch's own actuals into a flat stream, then per lane does
+     * one table lookup, an n-diff reconstruction and a nearest-first
+     * match via the SIMD kernels (util/simd.hh). Bit-identical to the
+     * scalar predict/update interleave.
+     */
+    void predictUpdateBatch(const uint64_t *pcs,
+                            const int64_t *actuals, uint32_t n,
+                            predictors::PredictionBatch &out) override;
     /// @}
 
     /// @name External-window interface (pipeline SGVQ/HGVQ)
@@ -114,6 +125,7 @@ class GDiffPredictor : public predictors::ValuePredictor
     GDiffConfig cfg;
     predictors::PcIndexedTable<Entry> table;
     GlobalValueQueue gvq;
+    std::vector<int64_t> extScratch; ///< batch: linearized stream
 };
 
 } // namespace core

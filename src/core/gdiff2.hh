@@ -59,6 +59,15 @@ class GDiff2Predictor : public predictors::ValuePredictor
     bool predict(uint64_t pc, int64_t &value) override;
     void update(uint64_t pc, int64_t actual) override;
 
+    /**
+     * Fused batch over the internal queue: one linearization of the
+     * queue plus the batch's actuals replaces the two per-record ring
+     * walks (predict + train each rebuilt the visible window).
+     */
+    void predictUpdateBatch(const uint64_t *pcs,
+                            const int64_t *actuals, uint32_t n,
+                            predictors::PredictionBatch &out) override;
+
     /// @name External-window interface (mirrors GDiffPredictor)
     /// @{
     bool predictWithWindow(uint64_t pc, const ValueWindow &window,
@@ -96,6 +105,7 @@ class GDiff2Predictor : public predictors::ValuePredictor
     GlobalValueQueue gvq;
     uint64_t singleSelections = 0;
     uint64_t pairSelections = 0;
+    std::vector<int64_t> extScratch; ///< batch: linearized stream
 };
 
 } // namespace core

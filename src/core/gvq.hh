@@ -79,6 +79,24 @@ class GlobalValueQueue
     /** @return the configured value delay T. */
     unsigned delay() const { return delay_; }
 
+    /**
+     * Copy the retained history into @p dst oldest-first (dst must
+     * hold order+delay values). Together with the values a batch is
+     * about to push, this linearizes the queue into a flat stream so
+     * the batched gdiff paths can address any lane's visible window
+     * with plain pointer arithmetic instead of per-lane ring walks.
+     *
+     * @return the number of values copied (== current ring size).
+     */
+    size_t
+    copyRecent(int64_t *dst) const
+    {
+        const size_t have = hist.size();
+        for (size_t j = 0; j < have; ++j)
+            dst[j] = hist[have - 1 - j];
+        return have;
+    }
+
     /** @return total values ever pushed. */
     uint64_t totalPushes() const { return hist.totalPushes(); }
 

@@ -145,6 +145,8 @@ class OooPipeline
                         std::greater<PendingWriteback>>
         pending;
 
+    std::vector<WritebackItem> drainScratch; ///< batched drain run
+
     uint64_t producerWritebacks = 0; ///< count of applied producer wbs
 };
 

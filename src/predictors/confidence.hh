@@ -66,6 +66,41 @@ class ConfidenceTable
                                                : e.count - cfg.downStep;
     }
 
+    /**
+     * Batched gate-and-train, fusing the drivers' per-record pair
+     * `confident(pc)` + `train(pc, correct)` into one table lookup
+     * per predicted lane. Lanes without a prediction are untouched
+     * (and report not-confident), mirroring the scalar short-circuit
+     * `predicted && confident(pc)` / `if (predicted) train(...)`.
+     *
+     * @param predicted      1 where the predictor produced a value.
+     * @param correct        1 where that prediction was correct.
+     * @param confident_out  per-lane pre-train confidence.
+     */
+    void
+    evaluateBatch(const uint64_t *pcs, const uint8_t *predicted,
+                  const uint8_t *correct, uint32_t n,
+                  uint8_t *confident_out)
+    {
+        const unsigned max = (1u << cfg.bits) - 1;
+        for (uint32_t l = 0; l < n; ++l) {
+            if (!predicted[l]) {
+                confident_out[l] = 0;
+                continue;
+            }
+            Entry &e = table.lookup(pcs[l]);
+            confident_out[l] = e.count >= cfg.threshold ? 1 : 0;
+            if (correct[l])
+                e.count = (e.count + cfg.upStep > max)
+                              ? max
+                              : e.count + cfg.upStep;
+            else
+                e.count = (e.count < cfg.downStep)
+                              ? 0
+                              : e.count - cfg.downStep;
+        }
+    }
+
     /** @return the policy in force. */
     const ConfidenceConfig &config() const { return cfg; }
 

@@ -1,6 +1,9 @@
 #include "predictors/fcm.hh"
 
+#include <algorithm>
+
 #include "util/logging.hh"
+#include "util/simd.hh"
 
 namespace gdiff {
 namespace predictors {
@@ -19,6 +22,25 @@ rollHistory(uint64_t history, uint64_t item, unsigned order)
     uint64_t folded = mix64(item) & 0xffff;
     return ((history << 16) | folded) & mask(16 * order);
 }
+
+/**
+ * Software-pipeline lookahead (and ring size, so a power of two) for
+ * the fused batch loops: lane l's work is overlapped with the lookup,
+ * history hash, and second-level prefetch for lane l + kDist.
+ *
+ * The distance trades prefetch coverage (larger = more time for the
+ * randomly indexed, megabyte-scale second-level line to arrive)
+ * against snapshot staleness (a PC recurring within the window rolls
+ * its history after the snapshot, wasting that prefetch). Issuing
+ * one prefetch per lane also keeps the miss queue smoothly loaded —
+ * a tile-at-a-time variant that bursts 32 prefetches back to back
+ * overflowed the handful of outstanding-miss buffers the hardware
+ * has and benched ~25% slower on FCM. Both hashes run inline in the
+ * pipeline stage: AVX2 has no 64-bit multiply, so a vectorized
+ * whole-lane mix64 prepass costs about what the scalar multiplies do
+ * and adds a full extra pass over the lane arrays.
+ */
+constexpr uint32_t kDist = 8;
 
 } // anonymous namespace
 
@@ -91,6 +113,90 @@ DfcmPredictor::update(uint64_t pc, int64_t actual)
         ++e.seen;
 }
 
+/**
+ * Fused batch loop, software-pipelined kDist lanes deep.
+ *
+ * The pipeline stage for lane a runs one lookup() — in lane order,
+ * so the table's lookup/conflict/ownership sequence is exactly the
+ * scalar one — snapshots the entry's history, and prefetches the
+ * second-level line that history hashes to. kDist lanes later the
+ * work stage consumes the snapshot. A PC recurring within the window
+ * invalidates its snapshot (an earlier lane rolled the history); the
+ * work stage detects that by value and recomputes the index, so a
+ * stale snapshot only ever wastes its prefetch. Entry pointers stay
+ * valid across the window in both table modes: vector storage is
+ * never resized, and unordered_map nodes are stable under rehash.
+ */
+void
+DfcmPredictor::predictUpdateBatch(const uint64_t *pcs,
+                                  const int64_t *actuals, uint32_t n,
+                                  PredictionBatch &out)
+{
+    out.reset(n);
+    const uint64_t histMask = mask(16 * cfg.order);
+    const uint64_t idxMask = mask(l2Bits);
+    L2Entry *const l2base = level2.data();
+    L1Entry *ringE[kDist];
+    uint64_t ringHist[kDist];
+    uint64_t ringIdx[kDist];
+    const uint32_t pro = std::min(kDist, n);
+    for (uint32_t i = 0; i < pro; ++i) {
+        L1Entry &e = level1.lookup(pcs[i]);
+        ringE[i] = &e;
+        ringHist[i] = e.history;
+        ringIdx[i] =
+            (mix64(e.history) ^ mix64(pcs[i])) & idxMask;
+        __builtin_prefetch(&l2base[ringIdx[i]], 1);
+    }
+    for (uint32_t l = 0; l < n; ++l) {
+        const uint32_t slot = l & (kDist - 1);
+        L1Entry &e = *ringE[slot];
+        const int64_t actual = actuals[l];
+        if (e.seen == 0) {
+            e.last = actual;
+            e.seen = 1;
+        } else {
+            int64_t stride = static_cast<int64_t>(
+                static_cast<uint64_t>(actual) -
+                static_cast<uint64_t>(e.last));
+            if (e.seen > cfg.order) {
+                // Predict and train share the pre-push history, so
+                // one index serves the scalar pair's two. out.value
+                // is written unconditionally (gated by predicted),
+                // keeping the hot path branchless.
+                uint64_t idx = ringIdx[slot];
+                if (e.history != ringHist[slot])
+                    idx = (mix64(e.history) ^ mix64(pcs[l])) &
+                          idxMask;
+                L2Entry &l2 = l2base[idx];
+                out.predicted[l] =
+                    static_cast<uint8_t>(l2.valid);
+                out.value[l] = static_cast<int64_t>(
+                    static_cast<uint64_t>(e.last) +
+                    static_cast<uint64_t>(l2.stride));
+                l2.stride = stride;
+                l2.valid = true;
+            }
+            e.history =
+                ((e.history << 16) |
+                 (mix64(static_cast<uint64_t>(stride)) & 0xffff)) &
+                histMask;
+            e.last = actual;
+            if (e.seen <= cfg.order + 1)
+                ++e.seen;
+        }
+        const uint32_t a = l + kDist;
+        if (a < n) {
+            L1Entry &ne = level1.lookup(pcs[a]);
+            ringE[slot] = &ne;
+            ringHist[slot] = ne.history;
+            ringIdx[slot] =
+                (mix64(ne.history) ^ mix64(pcs[a])) & idxMask;
+            __builtin_prefetch(&l2base[ringIdx[slot]], 1);
+        }
+    }
+}
+
 // ----------------------------------------------------------------- FCM
 
 FcmPredictor::FcmPredictor(const FcmConfig &config)
@@ -140,6 +246,64 @@ FcmPredictor::update(uint64_t pc, int64_t actual)
     e.history = pushHistory(e.history, actual);
     if (e.seen <= cfg.order)
         ++e.seen;
+}
+
+/**
+ * Fused batch loop, software-pipelined kDist lanes deep — the same
+ * scheme as the DFCM loop above; see its comment for the snapshot
+ * staleness and pointer-stability arguments.
+ */
+void
+FcmPredictor::predictUpdateBatch(const uint64_t *pcs,
+                                 const int64_t *actuals, uint32_t n,
+                                 PredictionBatch &out)
+{
+    out.reset(n);
+    const uint64_t histMask = mask(16 * cfg.order);
+    const uint64_t idxMask = mask(l2Bits);
+    L2Entry *const l2base = level2.data();
+    L1Entry *ringE[kDist];
+    uint64_t ringHist[kDist];
+    uint64_t ringIdx[kDist];
+    const uint32_t pro = std::min(kDist, n);
+    for (uint32_t i = 0; i < pro; ++i) {
+        L1Entry &e = level1.lookup(pcs[i]);
+        ringE[i] = &e;
+        ringHist[i] = e.history;
+        ringIdx[i] =
+            (mix64(e.history) ^ mix64(pcs[i])) & idxMask;
+        __builtin_prefetch(&l2base[ringIdx[i]], 1);
+    }
+    for (uint32_t l = 0; l < n; ++l) {
+        const uint32_t slot = l & (kDist - 1);
+        L1Entry &e = *ringE[slot];
+        if (e.seen >= cfg.order) {
+            uint64_t idx = ringIdx[slot];
+            if (e.history != ringHist[slot])
+                idx = (mix64(e.history) ^ mix64(pcs[l])) &
+                      idxMask;
+            L2Entry &l2 = l2base[idx];
+            out.predicted[l] = static_cast<uint8_t>(l2.valid);
+            out.value[l] = l2.value;
+            l2.value = actuals[l];
+            l2.valid = true;
+        }
+        e.history =
+            ((e.history << 16) |
+             (mix64(static_cast<uint64_t>(actuals[l])) & 0xffff)) &
+            histMask;
+        if (e.seen <= cfg.order)
+            ++e.seen;
+        const uint32_t a = l + kDist;
+        if (a < n) {
+            L1Entry &ne = level1.lookup(pcs[a]);
+            ringE[slot] = &ne;
+            ringHist[slot] = ne.history;
+            ringIdx[slot] =
+                (mix64(ne.history) ^ mix64(pcs[a])) & idxMask;
+            __builtin_prefetch(&l2base[ringIdx[slot]], 1);
+        }
+    }
 }
 
 } // namespace predictors

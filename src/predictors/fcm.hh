@@ -46,6 +46,9 @@ class DfcmPredictor : public ValuePredictor
 
     bool predict(uint64_t pc, int64_t &value) override;
     void update(uint64_t pc, int64_t actual) override;
+    void predictUpdateBatch(const uint64_t *pcs,
+                            const int64_t *actuals, uint32_t n,
+                            PredictionBatch &out) override;
 
   private:
     struct L1Entry
@@ -83,6 +86,9 @@ class FcmPredictor : public ValuePredictor
 
     bool predict(uint64_t pc, int64_t &value) override;
     void update(uint64_t pc, int64_t actual) override;
+    void predictUpdateBatch(const uint64_t *pcs,
+                            const int64_t *actuals, uint32_t n,
+                            PredictionBatch &out) override;
 
   private:
     struct L1Entry

@@ -27,6 +27,7 @@
 #include "util/bits.hh"
 #include "util/logging.hh"
 #include "util/ring_history.hh"
+#include "util/simd.hh"
 
 namespace gdiff {
 namespace predictors {
@@ -44,7 +45,7 @@ class GFcmPredictor : public ValuePredictor
   public:
     explicit GFcmPredictor(const GFcmConfig &config = GFcmConfig())
         : cfg(config), bits(ceilLog2(cfg.tableEntries)),
-          table(cfg.tableEntries), history(cfg.order)
+          table(cfg.tableEntries), folds(cfg.order)
     {
         GDIFF_ASSERT(isPowerOfTwo(cfg.tableEntries),
                      "gFCM table must be a power of two");
@@ -71,12 +72,40 @@ class GFcmPredictor : public ValuePredictor
         e.value = actual;
         e.valid = true;
         // The global context advances with *every* produced value.
-        history.push(actual);
-        contextHash = 0;
-        for (unsigned k = 0; k < cfg.order; ++k) {
-            contextHash =
-                (contextHash << 16) |
-                (mix64(static_cast<uint64_t>(history[k])) & 0xffff);
+        pushContext(static_cast<uint16_t>(
+            mix64(static_cast<uint64_t>(actual)) & 0xffff));
+    }
+
+    /**
+     * Fused batch: the PC hash and the per-value 16-bit folds are
+     * context-free, so both lanes are vectorized up front; the loop
+     * keeps only the inherently sequential parts (the context-hash
+     * mix and the context rebuild, which depend on every earlier
+     * lane's value).
+     */
+    void
+    predictUpdateBatch(const uint64_t *pcs, const int64_t *actuals,
+                       uint32_t n, PredictionBatch &out) override
+    {
+        out.reset(n);
+        pcMixScratch.resize(n);
+        foldScratch.resize(n);
+        for (uint32_t l = 0; l < n; ++l)
+            pcMixScratch[l] = pcs[l] >> 2;
+        simd::mix64Lane(pcMixScratch.data(), pcMixScratch.data(), n);
+        simd::fold16Lane(actuals, foldScratch.data(), n);
+        const uint64_t idxMask = mask(bits);
+        Entry *const tbl = table.data();
+        for (uint32_t l = 0; l < n; ++l) {
+            Entry &e = tbl[static_cast<size_t>(
+                (pcMixScratch[l] ^ mix64(contextHash)) & idxMask)];
+            if (e.valid) {
+                out.predicted[l] = 1;
+                out.value[l] = e.value;
+            }
+            e.value = actuals[l];
+            e.valid = true;
+            pushContext(foldScratch[l]);
         }
     }
 
@@ -94,11 +123,28 @@ class GFcmPredictor : public ValuePredictor
             (mix64(pc >> 2) ^ mix64(contextHash)) & mask(bits));
     }
 
+    /**
+     * Push one folded value into the global window and rebuild the
+     * rolling hash from the retained folds (never-pushed slots read
+     * as 0 — exactly the fold of the value-initialised history the
+     * hash used to be built from, since mix64(0) == 0).
+     */
+    void
+    pushContext(uint16_t fold)
+    {
+        folds.push(fold);
+        contextHash = 0;
+        for (unsigned k = 0; k < cfg.order; ++k)
+            contextHash = (contextHash << 16) | folds[k];
+    }
+
     GFcmConfig cfg;
     unsigned bits;
     std::vector<Entry> table;
-    RingHistory<int64_t> history;
+    RingHistory<uint16_t> folds;
     uint64_t contextHash = 0;
+    std::vector<uint64_t> pcMixScratch; ///< batch: mix64(pc>>2) lanes
+    std::vector<uint16_t> foldScratch;  ///< batch: value-fold lanes
 };
 
 } // namespace predictors

@@ -57,7 +57,7 @@ class StridePredictor : public ValuePredictor
         Entry &e = table.lookup(pc);
         if (!e.seen) {
             e.last = actual;
-            e.seen = true;
+            e.seen = ~0ull;
             return;
         }
         int64_t new_stride = static_cast<int64_t>(
@@ -73,6 +73,83 @@ class StridePredictor : public ValuePredictor
         e.last = actual;
     }
 
+    /**
+     * Fused batch: one lookup() per lane replaces the scalar
+     * probe+lookup pair; the predict half reads the entry before the
+     * train half mutates it, so prediction l sees exactly the state
+     * updates 0..l-1 left behind.
+     *
+     * The body is branchless: the 2-delta rule's data-dependent
+     * branch mispredicts badly on mixed strided/noisy streams, so
+     * both conditional stores are mask-arithmetic selects keyed on
+     * Entry::seen (0 or all-ones). A virgin entry has stride ==
+     * lastStride == 0, so leaving both unselected reproduces the
+     * scalar first-sight early-return exactly.
+     */
+    void
+    predictUpdateBatch(const uint64_t *pcs, const int64_t *actuals,
+                       uint32_t n, PredictionBatch &out) override
+    {
+        out.reset(n);
+        const bool two_delta = twoDelta;
+        for (uint32_t l = 0; l < n; ++l) {
+            Entry &e = table.lookup(pcs[l]);
+            const int64_t actual = actuals[l];
+            const uint64_t seen = e.seen;
+            out.predicted[l] = static_cast<uint8_t>(seen & 1);
+            // harmless when !seen: out.value is gated by predicted
+            out.value[l] = static_cast<int64_t>(
+                static_cast<uint64_t>(e.last) +
+                static_cast<uint64_t>(e.stride));
+            const uint64_t ns = static_cast<uint64_t>(actual) -
+                                static_cast<uint64_t>(e.last);
+            const uint64_t sm =
+                two_delta
+                    ? seen &
+                          static_cast<uint64_t>(-static_cast<int64_t>(
+                              static_cast<int64_t>(ns) ==
+                              e.lastStride))
+                    : seen;
+            e.stride = static_cast<int64_t>(
+                (ns & sm) |
+                (static_cast<uint64_t>(e.stride) & ~sm));
+            e.lastStride = static_cast<int64_t>(
+                (ns & seen) |
+                (static_cast<uint64_t>(e.lastStride) & ~seen));
+            e.last = actual;
+            e.seen = ~0ull;
+        }
+    }
+
+    void
+    updateBatch(const uint64_t *pcs, const int64_t *actuals,
+                uint32_t n) override
+    {
+        const bool two_delta = twoDelta;
+        for (uint32_t l = 0; l < n; ++l) {
+            Entry &e = table.lookup(pcs[l]);
+            const int64_t actual = actuals[l];
+            const uint64_t seen = e.seen;
+            const uint64_t ns = static_cast<uint64_t>(actual) -
+                                static_cast<uint64_t>(e.last);
+            const uint64_t sm =
+                two_delta
+                    ? seen &
+                          static_cast<uint64_t>(-static_cast<int64_t>(
+                              static_cast<int64_t>(ns) ==
+                              e.lastStride))
+                    : seen;
+            e.stride = static_cast<int64_t>(
+                (ns & sm) |
+                (static_cast<uint64_t>(e.stride) & ~sm));
+            e.lastStride = static_cast<int64_t>(
+                (ns & seen) |
+                (static_cast<uint64_t>(e.lastStride) & ~seen));
+            e.last = actual;
+            e.seen = ~0ull;
+        }
+    }
+
     /** @return conflict (aliasing) rate of the underlying table. */
     double tableConflictRate() const { return table.conflictRate(); }
 
@@ -82,7 +159,9 @@ class StridePredictor : public ValuePredictor
         int64_t last = 0;
         int64_t stride = 0;
         int64_t lastStride = 0;
-        bool seen = false;
+        /// 0 = virgin, all-ones = trained — doubles as the select
+        /// mask for the branchless batch loop
+        uint64_t seen = 0;
     };
 
     PcIndexedTable<Entry> table;

@@ -84,6 +84,23 @@ class PcIndexedTable
         return &table[indexOf(pc)];
     }
 
+    /**
+     * Prefetch hint for the slot @p pc maps to — batch loops issue
+     * this a tile ahead of lookup(). No-op in unlimited mode.
+     */
+    void
+    prefetch(uint64_t pc) const
+    {
+        if (limit != 0) {
+            size_t idx = indexOf(pc);
+            // lookup() touches two random-indexed lines per PC: the
+            // entry itself and the ownership word it read-modify-
+            // writes. Warm both.
+            __builtin_prefetch(&table[idx], 1);
+            __builtin_prefetch(&owners[idx], 1);
+        }
+    }
+
     /** @return configured entry count (0 = unlimited). */
     size_t entries() const { return limit; }
 

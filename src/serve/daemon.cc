@@ -24,6 +24,7 @@
 #include "serve/socket.hh"
 #include "util/json.hh"
 #include "util/logging.hh"
+#include "util/simd.hh"
 #include "workload/workload.hh"
 
 namespace gdiff {
@@ -588,6 +589,13 @@ struct Daemon::Impl
             s.traceCache.generations, s.traceCache.evictions,
             s.traceCache.residentBytes, s.traceCache.entries);
         out += buf;
+
+        // Which batch kernel set this process dispatched to at
+        // startup (GDIFF_SIMD / CPUID) — lets an operator confirm a
+        // fleet is actually running the vector path.
+        out += ",\"simd_dispatch\":\"";
+        out += simd::activeName();
+        out += '"';
 
         // Latency percentiles come from the merged obs histograms;
         // zeros when observability is off.

@@ -2,12 +2,42 @@
 
 #include <algorithm>
 #include <memory>
+#include <vector>
 
 #include "obs/obs.hh"
 #include "util/logging.hh"
+#include "util/simd.hh"
 
 namespace gdiff {
 namespace sim {
+
+namespace {
+
+/**
+ * First measured record index of a chunk: record j (0-based) is past
+ * warmup iff executedBefore + j + 1 > warmup, i.e. j >= mstart.
+ */
+uint64_t
+measuredStart(uint64_t executedBefore, uint64_t warmup)
+{
+    return warmup > executedBefore ? warmup - executedBefore : 0;
+}
+
+/**
+ * First *lane* at or past the measured boundary: lanes carry their
+ * chunk record index in ascending order.
+ */
+uint32_t
+measuredLane(const uint32_t *records, uint32_t lanes, uint64_t mstart)
+{
+    if (mstart == 0)
+        return 0;
+    const uint32_t *it = std::lower_bound(
+        records, records + lanes, static_cast<uint32_t>(mstart));
+    return static_cast<uint32_t>(it - records);
+}
+
+} // anonymous namespace
 
 void
 ProfileConfig::validate() const
@@ -51,10 +81,28 @@ ValueProfileRunner::run(workload::TraceSource &src)
     auto scratch = std::make_unique<workload::TraceChunk>();
     // Chunk-granularity stage split: fill (trace delivery, which is
     // functional generation on a cache miss and a cursor walk on a
-    // hit) vs the predict/update loop. Local accumulation, one
-    // registry call at the end — see obs.hh's overhead rules.
+    // hit) vs the batched predict/update passes. Local accumulation,
+    // one registry call at the end — see obs.hh's overhead rules.
+    // Histogram pointers are stable, so they are cached up front.
     const bool obsOn = GDIFF_OBS_ENABLED && obs::enabled();
     uint64_t fillNs = 0, simNs = 0, chunks = 0, tStage = 0;
+    stats::Histogram *predictHist = nullptr;
+    stats::Histogram *updateHist = nullptr;
+    if (obsOn) {
+        obs::Registry &reg = obs::Registry::local();
+        predictHist = reg.histogram("predict.batch_us");
+        updateHist = reg.histogram("update.batch_us");
+        reg.addCount(simd::activeName(), 1);
+    }
+
+    constexpr uint32_t cap = workload::TraceChunk::capacity;
+    std::vector<uint64_t> pcs(cap);
+    std::vector<int64_t> values(cap);
+    std::vector<uint32_t> records(cap);
+    std::vector<uint8_t> correct(cap);
+    std::vector<uint8_t> confident(cap);
+    predictors::PredictionBatch batch;
+
     while (executed < budget) {
         if (obsOn)
             tStage = obs::nowNs();
@@ -69,28 +117,47 @@ ValueProfileRunner::run(workload::TraceSource &src)
             break;
         uint32_t n = static_cast<uint32_t>(
             std::min<uint64_t>(chunk->size, budget - executed));
-        for (uint32_t j = 0; j < n; ++j) {
-            ++executed;
-            if (!chunk->producesValue(j))
-                continue;
-            uint64_t pc = chunk->pc[j];
-            int64_t value = chunk->value[j];
-            bool measured = executed > cfg.warmupInstructions;
-            for (size_t i = 0; i < preds.size(); ++i) {
-                int64_t guess = 0;
-                bool predicted = preds[i]->predict(pc, guess);
-                bool correct = predicted && guess == value;
-                bool confident = predicted && conf[i].confident(pc);
-                if (measured) {
-                    series[i].accuracyAll.record(correct);
-                    series[i].coverage.record(confident);
-                    if (confident)
-                        series[i].accuracyGated.record(correct);
-                }
-                if (predicted)
-                    conf[i].train(pc, correct);
-                preds[i]->update(pc, value);
+        const uint32_t lanes = predictors::gatherValueLanes(
+            *chunk, n, pcs.data(), values.data(), records.data());
+        const uint64_t mstart =
+            measuredStart(executed, cfg.warmupInstructions);
+        const uint32_t mlane =
+            mstart >= n ? lanes
+                        : measuredLane(records.data(), lanes, mstart);
+        executed += n;
+
+        for (size_t i = 0; i < preds.size(); ++i) {
+            uint64_t tP = obsOn ? obs::nowNs() : 0;
+            preds[i]->predictUpdateBatch(pcs.data(), values.data(),
+                                         lanes, batch);
+            if (obsOn) {
+                uint64_t t = obs::nowNs();
+                predictHist->record((t - tP) / 1000);
+                tP = t;
             }
+            for (uint32_t l = 0; l < lanes; ++l) {
+                correct[l] = batch.predicted[l] &&
+                             batch.value[l] == values[l];
+            }
+            conf[i].evaluateBatch(pcs.data(), batch.predicted.data(),
+                                  correct.data(), lanes,
+                                  confident.data());
+            // Ratio sums are order-independent, so the per-chunk
+            // aggregation below is identical to the scalar
+            // record-at-a-time record() calls.
+            uint64_t nCorrect = 0, nConf = 0, nConfCorrect = 0;
+            for (uint32_t l = mlane; l < lanes; ++l) {
+                nCorrect += correct[l];
+                if (confident[l]) {
+                    ++nConf;
+                    nConfCorrect += correct[l];
+                }
+            }
+            series[i].accuracyAll.addBatch(nCorrect, lanes - mlane);
+            series[i].coverage.addBatch(nConf, lanes - mlane);
+            series[i].accuracyGated.addBatch(nConfCorrect, nConf);
+            if (obsOn)
+                updateHist->record((obs::nowNs() - tP) / 1000);
         }
         if (obsOn)
             simNs += obs::nowNs() - tStage;
@@ -142,6 +209,31 @@ AddressProfileRunner::run(workload::TraceSource &src)
     auto scratch = std::make_unique<workload::TraceChunk>();
     const bool obsOn = GDIFF_OBS_ENABLED && obs::enabled();
     uint64_t fillNs = 0, simNs = 0, chunks = 0, tStage = 0;
+    stats::Histogram *predictHist = nullptr;
+    stats::Histogram *updateHist = nullptr;
+    if (obsOn) {
+        obs::Registry &reg = obs::Registry::local();
+        predictHist = reg.histogram("predict.batch_us");
+        updateHist = reg.histogram("update.batch_us");
+        reg.addCount(simd::activeName(), 1);
+    }
+
+    constexpr uint32_t cap = workload::TraceChunk::capacity;
+    std::vector<uint64_t> pcs(cap);
+    std::vector<int64_t> actuals(cap);
+    std::vector<uint64_t> addrs(cap);
+    std::vector<uint32_t> records(cap);
+    std::vector<uint8_t> miss(cap);
+    std::vector<uint8_t> correct(cap);
+    std::vector<uint8_t> confident(cap);
+    std::vector<uint64_t> missAddrs(cap);
+    std::vector<uint32_t> missLaneOf(cap);
+    std::vector<uint8_t> hits(cap);
+    std::vector<uint64_t> guesses(cap);
+    std::vector<uint8_t> mhits(cap);
+    std::vector<uint64_t> mguesses(cap);
+    predictors::PredictionBatch batch;
+
     while (executed < budget) {
         if (obsOn)
             tStage = obs::nowNs();
@@ -156,66 +248,113 @@ AddressProfileRunner::run(workload::TraceSource &src)
             break;
         uint32_t n = static_cast<uint32_t>(
             std::min<uint64_t>(chunk->size, budget - executed));
+
+        // Pass 1 — memory model in architectural order: stores keep
+        // the D-cache honest but are not predicted; loads become
+        // dense lanes carrying their miss classification.
+        uint32_t lanes = 0;
         for (uint32_t j = 0; j < n; ++j) {
-            ++executed;
             uint64_t effAddr = chunk->effAddr[j];
-            // Stores keep the D-cache model honest but are not
-            // predicted.
             if (chunk->isStore(j)) {
                 dcache.access(effAddr);
                 continue;
             }
             if (!chunk->isLoad(j))
                 continue;
-            uint64_t pc = chunk->pc[j];
-            bool measured = executed > cfg.warmupInstructions;
-            bool miss = !dcache.access(effAddr);
-            int64_t actual = static_cast<int64_t>(effAddr);
+            pcs[lanes] = chunk->pc[j];
+            addrs[lanes] = effAddr;
+            actuals[lanes] = static_cast<int64_t>(effAddr);
+            records[lanes] = j;
+            miss[lanes] = !dcache.access(effAddr);
+            ++lanes;
+        }
+        const uint64_t mstart =
+            measuredStart(executed, cfg.warmupInstructions);
+        const uint32_t mlane =
+            mstart >= n ? lanes
+                        : measuredLane(records.data(), lanes, mstart);
+        executed += n;
 
-            for (size_t i = 0; i < preds.size(); ++i) {
-                int64_t guess = 0;
-                bool predicted = preds[i]->predict(pc, guess);
-                bool correct = predicted && guess == actual;
-                bool confident = predicted && conf[i].confident(pc);
-                if (measured) {
-                    series[i].coverageAll.record(confident);
-                    if (confident)
-                        series[i].accuracyAll.record(correct);
-                    if (miss) {
-                        series[i].coverageMiss.record(confident);
-                        if (confident)
-                            series[i].accuracyMiss.record(correct);
+        // Pass 2 — PC-indexed predictors over the load-address lanes.
+        for (size_t i = 0; i < preds.size(); ++i) {
+            uint64_t tP = obsOn ? obs::nowNs() : 0;
+            preds[i]->predictUpdateBatch(pcs.data(), actuals.data(),
+                                         lanes, batch);
+            if (obsOn) {
+                uint64_t t = obs::nowNs();
+                predictHist->record((t - tP) / 1000);
+                tP = t;
+            }
+            for (uint32_t l = 0; l < lanes; ++l) {
+                correct[l] = batch.predicted[l] &&
+                             batch.value[l] == actuals[l];
+            }
+            conf[i].evaluateBatch(pcs.data(), batch.predicted.data(),
+                                  correct.data(), lanes,
+                                  confident.data());
+            uint64_t covAll = 0, accAll = 0, totMiss = 0, covMiss = 0,
+                     accMiss = 0;
+            for (uint32_t l = mlane; l < lanes; ++l) {
+                if (confident[l]) {
+                    ++covAll;
+                    accAll += correct[l];
+                }
+                if (miss[l]) {
+                    ++totMiss;
+                    if (confident[l]) {
+                        ++covMiss;
+                        accMiss += correct[l];
                     }
                 }
-                if (predicted)
-                    conf[i].train(pc, correct);
-                preds[i]->update(pc, actual);
             }
+            series[i].coverageAll.addBatch(covAll, lanes - mlane);
+            series[i].accuracyAll.addBatch(accAll, covAll);
+            series[i].coverageMiss.addBatch(covMiss, totMiss);
+            series[i].accuracyMiss.addBatch(accMiss, covMiss);
+            if (obsOn)
+                updateHist->record((obs::nowNs() - tP) / 1000);
+        }
 
-            if (markovAll) {
-                AddressSeries &ms = series.back();
-                uint64_t guess = 0;
-                bool hit = markovAll->predict(guess);
-                bool correct = hit && guess == effAddr;
-                if (measured) {
-                    ms.coverageAll.record(hit);
-                    if (hit)
-                        ms.accuracyAll.record(correct);
+        // Pass 3 — the Markov pair: the all-loads stream, then the
+        // gathered miss stream (whose lanes remember their load lane
+        // for the measured gate).
+        if (markovAll && lanes > 0) {
+            AddressSeries &ms = series.back();
+            markovAll->predictUpdateBatch(addrs.data(), lanes,
+                                          hits.data(), guesses.data());
+            uint64_t cov = 0, acc = 0;
+            uint32_t misses = 0;
+            for (uint32_t l = 0; l < lanes; ++l) {
+                if (miss[l]) {
+                    missAddrs[misses] = addrs[l];
+                    missLaneOf[misses] = l;
+                    ++misses;
                 }
-                markovAll->update(effAddr);
-
-                if (miss) {
-                    uint64_t mguess = 0;
-                    bool mhit = markovMiss->predict(mguess);
-                    bool mcorrect = mhit && mguess == effAddr;
-                    if (measured) {
-                        ms.coverageMiss.record(mhit);
-                        if (mhit)
-                            ms.accuracyMiss.record(mcorrect);
-                    }
-                    markovMiss->update(effAddr);
+                if (l < mlane)
+                    continue;
+                if (hits[l]) {
+                    ++cov;
+                    acc += guesses[l] == addrs[l];
                 }
             }
+            ms.coverageAll.addBatch(cov, lanes - mlane);
+            ms.accuracyAll.addBatch(acc, cov);
+
+            markovMiss->predictUpdateBatch(missAddrs.data(), misses,
+                                           mhits.data(),
+                                           mguesses.data());
+            uint64_t mcov = 0, macc = 0, mtot = 0;
+            for (uint32_t m = 0; m < misses; ++m) {
+                if (missLaneOf[m] < mlane)
+                    continue;
+                ++mtot;
+                if (mhits[m]) {
+                    ++mcov;
+                    macc += mguesses[m] == missAddrs[m];
+                }
+            }
+            ms.coverageMiss.addBatch(mcov, mtot);
+            ms.accuracyMiss.addBatch(macc, mcov);
         }
         if (obsOn)
             simNs += obs::nowNs() - tStage;

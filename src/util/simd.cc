@@ -1,0 +1,290 @@
+#include "util/simd.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "util/bits.hh"
+#include "util/logging.hh"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define GDIFF_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define GDIFF_SIMD_X86 0
+#endif
+
+namespace gdiff {
+namespace simd {
+
+// ------------------------------------------------------------ dispatch
+
+bool
+cpuSupportsAvx2()
+{
+#if GDIFF_SIMD_X86 && defined(__GNUC__)
+    return __builtin_cpu_supports("avx2");
+#else
+    return false;
+#endif
+}
+
+namespace {
+
+/** Resolve the initial mode from CPUID + GDIFF_SIMD. */
+Mode
+resolveMode()
+{
+    const char *env = std::getenv("GDIFF_SIMD");
+    if (env) {
+        if (std::strcmp(env, "off") == 0 ||
+            std::strcmp(env, "scalar") == 0 ||
+            std::strcmp(env, "OFF") == 0) {
+            return Mode::Scalar;
+        }
+        if (std::strcmp(env, "avx2") == 0) {
+            if (!cpuSupportsAvx2())
+                fatal("GDIFF_SIMD=avx2 but this CPU has no AVX2");
+            return Mode::Avx2;
+        }
+        if (std::strcmp(env, "auto") != 0) {
+            fatal("GDIFF_SIMD='%s' not understood (off|scalar|avx2|"
+                  "auto)",
+                  env);
+        }
+    }
+    return cpuSupportsAvx2() ? Mode::Avx2 : Mode::Scalar;
+}
+
+Mode gMode = resolveMode();
+
+} // anonymous namespace
+
+Mode
+activeMode()
+{
+    return gMode;
+}
+
+const char *
+activeName()
+{
+    return gMode == Mode::Avx2 ? "simd.avx2" : "simd.scalar";
+}
+
+void
+setModeForTest(Mode m)
+{
+    if (m == Mode::Avx2 && !cpuSupportsAvx2())
+        fatal("setModeForTest(Avx2) on a CPU without AVX2");
+    gMode = m;
+}
+
+// ------------------------------------------------------ scalar kernels
+
+namespace {
+
+void
+mix64LaneScalar(const uint64_t *in, uint64_t *out, size_t n)
+{
+    for (size_t i = 0; i < n; ++i)
+        out[i] = mix64(in[i]);
+}
+
+void
+fold16LaneScalar(const int64_t *in, uint16_t *out, size_t n)
+{
+    for (size_t i = 0; i < n; ++i)
+        out[i] = static_cast<uint16_t>(
+            mix64(static_cast<uint64_t>(in[i])) & 0xffff);
+}
+
+void
+diffAgainstWindowScalar(int64_t actual, const int64_t *wtop,
+                        int64_t *out, size_t n)
+{
+    for (size_t k = 0; k < n; ++k)
+        out[k] = static_cast<int64_t>(static_cast<uint64_t>(actual) -
+                                      static_cast<uint64_t>(wtop[-(
+                                          static_cast<ptrdiff_t>(k))]));
+}
+
+int
+firstEqualScalar(const int64_t *a, const int64_t *b, size_t n)
+{
+    for (size_t k = 0; k < n; ++k) {
+        if (a[k] == b[k])
+            return static_cast<int>(k);
+    }
+    return -1;
+}
+
+// -------------------------------------------------------- AVX2 kernels
+
+#if GDIFF_SIMD_X86 && defined(__GNUC__)
+#define GDIFF_AVX2_FN __attribute__((target("avx2")))
+
+/**
+ * Exact 64x64 -> low-64 multiply of four lanes. AVX2 has no 64-bit
+ * integer multiply; decompose into 32-bit partial products via
+ * _mm256_mul_epu32: lo(a*b) = lo32(a)*lo32(b)
+ *                           + ((lo32(a)*hi32(b) + hi32(a)*lo32(b)) << 32).
+ */
+GDIFF_AVX2_FN inline __m256i
+mullo64(__m256i a, __m256i b)
+{
+    __m256i a_hi = _mm256_srli_epi64(a, 32);
+    __m256i b_hi = _mm256_srli_epi64(b, 32);
+    __m256i lolo = _mm256_mul_epu32(a, b);
+    __m256i lohi = _mm256_mul_epu32(a, b_hi);
+    __m256i hilo = _mm256_mul_epu32(a_hi, b);
+    __m256i cross = _mm256_add_epi64(lohi, hilo);
+    return _mm256_add_epi64(lolo, _mm256_slli_epi64(cross, 32));
+}
+
+/** Four-lane mix64 (SplitMix64 finisher), bit-exact vs util/bits.hh. */
+GDIFF_AVX2_FN inline __m256i
+mix64x4(__m256i z)
+{
+    const __m256i m1 = _mm256_set1_epi64x(
+        static_cast<long long>(0xbf58476d1ce4e5b9ull));
+    const __m256i m2 = _mm256_set1_epi64x(
+        static_cast<long long>(0x94d049bb133111ebull));
+    z = _mm256_xor_si256(z, _mm256_srli_epi64(z, 30));
+    z = mullo64(z, m1);
+    z = _mm256_xor_si256(z, _mm256_srli_epi64(z, 27));
+    z = mullo64(z, m2);
+    return _mm256_xor_si256(z, _mm256_srli_epi64(z, 31));
+}
+
+GDIFF_AVX2_FN void
+mix64LaneAvx2(const uint64_t *in, uint64_t *out, size_t n)
+{
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(in + i));
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(out + i),
+                            mix64x4(v));
+    }
+    for (; i < n; ++i)
+        out[i] = mix64(in[i]);
+}
+
+GDIFF_AVX2_FN void
+fold16LaneAvx2(const int64_t *in, uint16_t *out, size_t n)
+{
+    size_t i = 0;
+    alignas(32) uint64_t tmp[4];
+    for (; i + 4 <= n; i += 4) {
+        __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(in + i));
+        _mm256_store_si256(reinterpret_cast<__m256i *>(tmp),
+                           mix64x4(v));
+        out[i + 0] = static_cast<uint16_t>(tmp[0]);
+        out[i + 1] = static_cast<uint16_t>(tmp[1]);
+        out[i + 2] = static_cast<uint16_t>(tmp[2]);
+        out[i + 3] = static_cast<uint16_t>(tmp[3]);
+    }
+    for (; i < n; ++i)
+        out[i] = static_cast<uint16_t>(
+            mix64(static_cast<uint64_t>(in[i])) & 0xffff);
+}
+
+GDIFF_AVX2_FN void
+diffAgainstWindowAvx2(int64_t actual, const int64_t *wtop,
+                      int64_t *out, size_t n)
+{
+    const __m256i va = _mm256_set1_epi64x(actual);
+    size_t k = 0;
+    for (; k + 4 <= n; k += 4) {
+        // Window positions k..k+3 live at wtop[-k-3..-k] ascending;
+        // subtract, then reverse lanes so out[k+j] = actual - wtop[-k-j].
+        __m256i w = _mm256_loadu_si256(reinterpret_cast<const __m256i *>(
+            wtop - static_cast<ptrdiff_t>(k) - 3));
+        __m256i d = _mm256_sub_epi64(va, w);
+        d = _mm256_permute4x64_epi64(d, 0x1b); // lanes 3,2,1,0
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(out + k), d);
+    }
+    for (; k < n; ++k)
+        out[k] = static_cast<int64_t>(static_cast<uint64_t>(actual) -
+                                      static_cast<uint64_t>(wtop[-(
+                                          static_cast<ptrdiff_t>(k))]));
+}
+
+GDIFF_AVX2_FN int
+firstEqualAvx2(const int64_t *a, const int64_t *b, size_t n)
+{
+    size_t k = 0;
+    for (; k + 4 <= n; k += 4) {
+        __m256i va = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(a + k));
+        __m256i vb = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(b + k));
+        int m = _mm256_movemask_pd(
+            _mm256_castsi256_pd(_mm256_cmpeq_epi64(va, vb)));
+        if (m)
+            return static_cast<int>(k) + __builtin_ctz(
+                                             static_cast<unsigned>(m));
+    }
+    for (; k < n; ++k) {
+        if (a[k] == b[k])
+            return static_cast<int>(k);
+    }
+    return -1;
+}
+
+#endif // GDIFF_SIMD_X86 && __GNUC__
+
+} // anonymous namespace
+
+// ---------------------------------------------------- public entries
+
+void
+mix64Lane(const uint64_t *in, uint64_t *out, size_t n)
+{
+#if GDIFF_SIMD_X86 && defined(__GNUC__)
+    if (gMode == Mode::Avx2) {
+        mix64LaneAvx2(in, out, n);
+        return;
+    }
+#endif
+    mix64LaneScalar(in, out, n);
+}
+
+void
+fold16Lane(const int64_t *in, uint16_t *out, size_t n)
+{
+#if GDIFF_SIMD_X86 && defined(__GNUC__)
+    if (gMode == Mode::Avx2) {
+        fold16LaneAvx2(in, out, n);
+        return;
+    }
+#endif
+    fold16LaneScalar(in, out, n);
+}
+
+void
+diffAgainstWindow(int64_t actual, const int64_t *wtop, int64_t *out,
+                  size_t n)
+{
+#if GDIFF_SIMD_X86 && defined(__GNUC__)
+    if (gMode == Mode::Avx2) {
+        diffAgainstWindowAvx2(actual, wtop, out, n);
+        return;
+    }
+#endif
+    diffAgainstWindowScalar(actual, wtop, out, n);
+}
+
+int
+firstEqual(const int64_t *a, const int64_t *b, size_t n)
+{
+#if GDIFF_SIMD_X86 && defined(__GNUC__)
+    if (gMode == Mode::Avx2)
+        return firstEqualAvx2(a, b, n);
+#endif
+    return firstEqualScalar(a, b, n);
+}
+
+} // namespace simd
+} // namespace gdiff

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Runtime-dispatched SIMD kernels for the batch prediction paths.
+ *
+ * The batched predictor implementations (docs/INTERNALS.md §10) lean
+ * on a handful of data-parallel passes: hashing a lane of PCs or
+ * values with mix64, folding values to 16-bit history items, building
+ * a lane of differences against a window, and finding the first
+ * matching position among stored differences. Each pass has two
+ * implementations:
+ *
+ *  - a portable scalar loop, always compiled and always tested;
+ *  - a hand-rolled AVX2 variant compiled with a per-function target
+ *    attribute (no global -mavx2), selected at runtime when the CPU
+ *    supports it.
+ *
+ * Every kernel is pure integer arithmetic, so both variants are
+ * bit-identical by construction; tests/test_simd.cc pins that, and
+ * the scalar-vs-batch differ (src/check) polices it end to end.
+ *
+ * Dispatch is process-global and decided once, from CPUID plus the
+ * GDIFF_SIMD environment variable:
+ *
+ *   GDIFF_SIMD=off | scalar   force the scalar kernels
+ *   GDIFF_SIMD=avx2           force AVX2 (fatal if unsupported)
+ *   GDIFF_SIMD=auto | unset   use AVX2 when the CPU has it
+ *
+ * Tests may override the decision in-process with setModeForTest().
+ */
+
+#ifndef GDIFF_UTIL_SIMD_HH
+#define GDIFF_UTIL_SIMD_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gdiff {
+namespace simd {
+
+/** Selected kernel set. */
+enum class Mode
+{
+    Scalar,
+    Avx2,
+};
+
+/** @return the active kernel set (env override applied on first call). */
+Mode activeMode();
+
+/**
+ * @return the active mode as a stable counter/display name:
+ * "simd.avx2" or "simd.scalar". Used for the obs dispatch counter and
+ * the daemon status endpoint.
+ */
+const char *activeName();
+
+/** @return true if this CPU can run the AVX2 kernels. */
+bool cpuSupportsAvx2();
+
+/**
+ * Force a kernel set in-process (tests only; not thread-safe against
+ * concurrent kernel calls). Forcing Avx2 on a CPU without AVX2 is
+ * fatal.
+ */
+void setModeForTest(Mode m);
+
+/** mix64 (SplitMix64 finisher) over a lane: out[i] = mix64(in[i]). */
+void mix64Lane(const uint64_t *in, uint64_t *out, size_t n);
+
+/**
+ * 16-bit history folds over a lane: out[i] = mix64(in[i]) & 0xffff —
+ * the per-item fold the FCM-family history hashes are built from
+ * (src/predictors/fcm.cc rollHistory, gfcm.hh).
+ */
+void fold16Lane(const int64_t *in, uint16_t *out, size_t n);
+
+/**
+ * Difference lane against a window stored newest-last: with wtop
+ * pointing at the newest visible value, out[k] = actual - wtop[-k]
+ * (two's-complement wrapping) for k in [0, n). This is gdiff's n-diff
+ * reconstruction pass over the batch ext buffer, where window
+ * position k is physically at wtop[-k].
+ */
+void diffAgainstWindow(int64_t actual, const int64_t *wtop,
+                       int64_t *out, size_t n);
+
+/**
+ * @return the smallest k in [0, n) with a[k] == b[k], or -1 — gdiff's
+ * nearest-first difference comparators (paper Fig. 5).
+ */
+int firstEqual(const int64_t *a, const int64_t *b, size_t n);
+
+} // namespace simd
+} // namespace gdiff
+
+#endif // GDIFF_UTIL_SIMD_HH

@@ -28,6 +28,7 @@
 #include "serve/daemon.hh"
 #include "serve/protocol.hh"
 #include "serve/socket.hh"
+#include "util/simd.hh"
 
 using namespace gdiff;
 using namespace gdiff::serve;
@@ -497,4 +498,9 @@ TEST(DaemonTest, StatusReportsCacheAndLatencyHistograms)
     EXPECT_EQ(jobMs->find("count")->number, 4.0);
     EXPECT_GE(jobMs->find("p99_ms")->number,
               jobMs->find("p50_ms")->number);
+    // The batch-kernel dispatch decision is process-wide; status
+    // must report the same name the obs counters use.
+    const json::Value *simdField = doc.find("simd_dispatch");
+    ASSERT_NE(simdField, nullptr);
+    EXPECT_EQ(simdField->str, simd::activeName());
 }
