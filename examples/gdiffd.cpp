@@ -43,7 +43,13 @@ usage(const char *argv0)
         "  --queue-cap=N       max queued jobs across all clients "
         "before\n"
         "                      submits are rejected (default 1024)\n"
-        "  --trace-cache-mb=N  cap the shared trace cache at N MiB\n",
+        "  --trace-cache-mb=N  cap the shared trace cache at N MiB\n"
+        "  --trace-cache-dir=DIR  persist generated traces under DIR\n"
+        "                      so a restarted daemon replays them from\n"
+        "                      disk (GDIFF_TRACE_CACHE_DIR sets the\n"
+        "                      default)\n"
+        "  --trace-cache-disk-mb=N  cap the persistent tier at N MiB\n"
+        "                      (default 2048)\n",
         argv0);
     std::exit(2);
 }
@@ -93,6 +99,13 @@ main(int argc, char **argv)
             cfg.traceCacheBytes =
                 static_cast<size_t>(parseU64Flag("--trace-cache-mb",
                                                  v.c_str(), true)) *
+                (size_t(1) << 20);
+        } else if (take("--trace-cache-dir", cfg.traceCacheDir)) {
+        } else if (take("--trace-cache-disk-mb", v)) {
+            cfg.traceCacheDiskBytes =
+                static_cast<size_t>(
+                    parseU64Flag("--trace-cache-disk-mb", v.c_str(),
+                                 true)) *
                 (size_t(1) << 20);
         } else {
             usage(argv[0]);

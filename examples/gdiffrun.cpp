@@ -53,6 +53,8 @@ struct Options
     bool noTable = false;
     bool useTraceCache = true;
     size_t traceCacheBytes = 0; // 0 = keep the cache's default cap
+    std::string traceCacheDir; // persistent tier root; empty = env/none
+    size_t traceCacheDiskBytes = 0; // 0 = the tier's default cap
     bool list = false;
     bool deterministic = false; // jsonl without timing metadata
     std::string traceOut;   // Chrome trace-event JSON path
@@ -100,6 +102,11 @@ usage(const char *argv0)
         "  --no-trace-cache regenerate every job's trace instead of\n"
         "                   replaying the shared cached copy\n"
         "  --trace-cache-mb=N  cap the shared trace cache at N MiB\n"
+        "  --trace-cache-dir=DIR  persist generated traces under DIR\n"
+        "                   and replay them across runs/processes\n"
+        "                   (GDIFF_TRACE_CACHE_DIR sets the default)\n"
+        "  --trace-cache-disk-mb=N  cap the persistent tier at N MiB\n"
+        "                   (default 2048)\n"
         "  --trace-out=FILE write a Chrome trace-event JSON timeline\n"
         "                   of the sweep (load in Perfetto or\n"
         "                   chrome://tracing)\n"
@@ -168,6 +175,12 @@ parse(int argc, char **argv)
             o.traceCacheBytes =
                 static_cast<size_t>(
                     parseU64Flag("--trace-cache-mb", v.c_str(), true)) *
+                (size_t(1) << 20);
+        } else if (take("--trace-cache-dir", o.traceCacheDir)) {
+        } else if (take("--trace-cache-disk-mb", v)) {
+            o.traceCacheDiskBytes =
+                static_cast<size_t>(parseU64Flag("--trace-cache-disk-mb",
+                                                 v.c_str(), true)) *
                 (size_t(1) << 20);
         } else if (take("--trace-out", o.traceOut)) {
         } else if (a == "--obs-summary") {
@@ -245,6 +258,8 @@ main(int argc, char **argv)
     ropt.manifestPath = o.manifest;
     ropt.useTraceCache = o.useTraceCache;
     ropt.traceCacheBytes = o.traceCacheBytes;
+    ropt.traceCacheDir = o.traceCacheDir;
+    ropt.traceCacheDiskBytes = o.traceCacheDiskBytes;
     ropt.cancel = &stopRequested;
 
     struct sigaction sa = {};
@@ -277,6 +292,17 @@ main(int argc, char **argv)
                      static_cast<double>(cs.residentBytes) /
                          (1 << 20),
                      cs.entries);
+        if (cs.diskEnabled) {
+            std::fprintf(
+                stderr,
+                "gdiffrun: trace disk cache (%s): %" PRIu64
+                " hits, %" PRIu64 " misses, %" PRIu64
+                " stores, %" PRIu64 " evictions, %" PRIu64
+                " corrupt-recovered\n",
+                workload::TraceCache::global().diskRoot().c_str(),
+                cs.diskHits, cs.diskMisses, cs.diskStores,
+                cs.diskEvictions, cs.diskCorruptRecoveries);
+        }
     }
     if (s.canceledJobs > 0) {
         std::fprintf(stderr,

@@ -17,6 +17,34 @@ done
 # trace cache has lost its reason to exist.
 ./build/bench/trace_replay_throughput \
     --instructions=500000 --warmup=0 --require-speedup=3
+# Trace format v3 gates: stride-dominant kernels must compress >= 4x
+# over raw v2, and decoding the compressed format must not fall
+# behind the raw v2 read path on those same kernels.
+./build/bench/trace_compress --instructions=500000 \
+    --require-ratio=4 --require-decode=1.0 \
+    --json=build/BENCH_trace_v3.json
+# Persistent trace cache: a second process sweeping over the same
+# cache dir must regenerate nothing (serve every trace from disk)
+# and produce bit-identical results.
+rm -rf build/check_trace_cache build/warm1.jsonl build/warm2.jsonl
+./build/examples/gdiffrun \
+    --grid 'workload=mcf,gzip;predictor=stride,gdiff' \
+    --threads=4 --instructions=100000 --warmup=20000 \
+    --deterministic --no-table --out build/warm1.jsonl \
+    --trace-cache-dir build/check_trace_cache
+./build/examples/gdiffrun \
+    --grid 'workload=mcf,gzip;predictor=stride,gdiff' \
+    --threads=4 --instructions=100000 --warmup=20000 \
+    --deterministic --no-table --out build/warm2.jsonl \
+    --trace-cache-dir build/check_trace_cache 2> build/warm2.log
+grep -q 'trace cache: 0 generated' build/warm2.log || {
+    echo "trace cache: warm restart regenerated traces"
+    cat build/warm2.log; exit 1; }
+sort build/warm1.jsonl > build/warm1.sorted
+sort build/warm2.jsonl > build/warm2.sorted
+cmp build/warm1.sorted build/warm2.sorted || {
+    echo "trace cache: disk-replayed sweep differs from cold run"
+    exit 1; }
 # Batch-vs-scalar prediction gate: the fused batch protocol must hold
 # >= 2x records/sec on the gated families (stride, fcm, gdiff), with
 # per-trial checksum identity between the two paths.

@@ -100,6 +100,8 @@ struct JobResult
     /// true when the job replayed a cached trace; false when it ran
     /// (and possibly cached) functional generation itself
     bool traceReplayed = false;
+    /// true when this job's trace came from the persistent disk tier
+    bool traceFromDisk = false;
     /// wall seconds this job spent materializing the trace (0 when
     /// replaying or when the cache is off)
     double traceGenerateSeconds = 0.0;

@@ -137,12 +137,14 @@ runJob(const JobSpec &spec, workload::TraceCache *cache)
     // are record-identical, so the metrics cannot differ.
     std::unique_ptr<workload::TraceSource> src;
     bool replayed = false;
+    bool fromDisk = false;
     double generateSeconds = 0.0;
     if (cache) {
         workload::TraceCache::Acquired acq = cache->acquire(
             spec.workload, spec.seed, spec.warmup + spec.instructions);
         src = std::move(acq.source);
         replayed = !acq.generated;
+        fromDisk = acq.fromDisk;
         generateSeconds = acq.generateSeconds;
     } else {
         workload::Workload w =
@@ -157,6 +159,7 @@ runJob(const JobSpec &spec, workload::TraceCache *cache)
         std::chrono::steady_clock::now() - t0;
     r.wallSeconds = dt.count();
     r.traceReplayed = replayed;
+    r.traceFromDisk = fromDisk;
     r.traceGenerateSeconds = generateSeconds;
     if (obsOn) {
         const obs::Registry &reg = obs::Registry::local();
@@ -220,6 +223,14 @@ SweepRunner::run(const SweepOptions &options)
         cache = &workload::TraceCache::global();
         if (options.traceCacheBytes != 0)
             cache->setMaxBytes(options.traceCacheBytes);
+        if (!options.traceCacheDir.empty()) {
+            if (options.traceCacheDiskBytes != 0) {
+                cache->setDiskRoot(options.traceCacheDir,
+                                   options.traceCacheDiskBytes);
+            } else {
+                cache->setDiskRoot(options.traceCacheDir);
+            }
+        }
     }
 
     const bool obsOn = GDIFF_OBS_ENABLED && obs::enabled();
@@ -265,6 +276,8 @@ SweepRunner::run(const SweepOptions &options)
         ++summary.ranJobs;
         if (rec.result.traceReplayed) {
             ++summary.replayedJobs;
+            if (rec.result.traceFromDisk)
+                ++summary.diskLoadedJobs;
         } else if (cache) {
             ++summary.generatedTraces;
             summary.generateSeconds +=

@@ -88,6 +88,12 @@ struct SweepOptions
     /// trace-cache byte cap applied before the sweep; 0 keeps the
     /// cache's current cap
     size_t traceCacheBytes = 0;
+    /// persistent trace-cache directory attached to the shared cache
+    /// before the sweep; empty keeps the cache's current disk tier
+    /// (GDIFF_TRACE_CACHE_DIR, or none)
+    std::string traceCacheDir;
+    /// byte cap for the persistent tier; 0 = the tier's default
+    size_t traceCacheDiskBytes = 0;
     /**
      * Cooperative cancellation (graceful SIGINT/SIGTERM drain): when
      * the pointee becomes true, workers stop *dispatching* new jobs
@@ -111,6 +117,9 @@ struct SweepSummary
     /// @{
     size_t generatedTraces = 0;  ///< jobs that materialized a trace
     size_t replayedJobs = 0;     ///< jobs served from the cache
+    /// jobs whose trace was loaded from the persistent disk tier (a
+    /// subset of replayedJobs)
+    size_t diskLoadedJobs = 0;
     double generateSeconds = 0;  ///< total trace-generation wall time
     /// @}
 };

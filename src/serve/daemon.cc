@@ -6,6 +6,7 @@
 #include <cinttypes>
 #include <condition_variable>
 #include <cstdio>
+#include <cstdlib>
 #include <deque>
 #include <list>
 #include <memory>
@@ -110,6 +111,14 @@ struct Daemon::Impl
         workload::TraceCache::Config c;
         if (config.traceCacheBytes != 0)
             c.maxBytes = config.traceCacheBytes;
+        c.diskRoot = config.traceCacheDir;
+        if (c.diskRoot.empty()) {
+            const char *dir = std::getenv("GDIFF_TRACE_CACHE_DIR");
+            if (dir)
+                c.diskRoot = dir;
+        }
+        if (config.traceCacheDiskBytes != 0)
+            c.diskMaxBytes = config.traceCacheDiskBytes;
         return c;
     }
 
@@ -589,6 +598,18 @@ struct Daemon::Impl
             s.traceCache.generations, s.traceCache.evictions,
             s.traceCache.residentBytes, s.traceCache.entries);
         out += buf;
+        if (s.traceCache.diskEnabled) {
+            std::snprintf(
+                buf, sizeof(buf),
+                ",\"trace_disk_cache\":{\"hits\":%" PRIu64
+                ",\"misses\":%" PRIu64 ",\"stores\":%" PRIu64
+                ",\"evictions\":%" PRIu64
+                ",\"corrupt_recoveries\":%" PRIu64 "}",
+                s.traceCache.diskHits, s.traceCache.diskMisses,
+                s.traceCache.diskStores, s.traceCache.diskEvictions,
+                s.traceCache.diskCorruptRecoveries);
+            out += buf;
+        }
 
         // Which batch kernel set this process dispatched to at
         // startup (GDIFF_SIMD / CPUID) — lets an operator confirm a

@@ -58,6 +58,11 @@ struct DaemonConfig
     size_t maxQueuedJobs = 1024;
     /// byte cap for the daemon's trace cache; 0 = the cache default
     size_t traceCacheBytes = 0;
+    /// persistent trace-cache root; empty = GDIFF_TRACE_CACHE_DIR
+    /// (when set) or no disk tier
+    std::string traceCacheDir;
+    /// byte cap for the persistent tier; 0 = the tier's default
+    size_t traceCacheDiskBytes = 0;
 };
 
 /** Live scheduler counters, as reported by the status endpoint. */

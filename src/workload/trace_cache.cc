@@ -1,9 +1,11 @@
 #include "workload/trace_cache.hh"
 
 #include <chrono>
+#include <cstdlib>
 
 #include "obs/obs.hh"
 #include "util/logging.hh"
+#include "workload/trace_disk_cache.hh"
 #include "workload/workload.hh"
 
 namespace gdiff {
@@ -34,6 +36,17 @@ MaterializedTrace::generate(const std::string &workload, uint64_t seed,
         trace->recordCount += chunk->size;
         trace->chunkList.push_back(std::move(chunk));
     }
+    return trace;
+}
+
+std::shared_ptr<const MaterializedTrace>
+MaterializedTrace::fromChunks(
+    std::vector<std::unique_ptr<TraceChunk>> chunks)
+{
+    auto trace = std::make_shared<MaterializedTrace>();
+    trace->chunkList = std::move(chunks);
+    for (const auto &chunk : trace->chunkList)
+        trace->recordCount += chunk->size;
     return trace;
 }
 
@@ -79,13 +92,46 @@ CachedTraceSource::rewind()
 
 TraceCache::TraceCache() : TraceCache(Config()) {}
 
-TraceCache::TraceCache(const Config &config) : cfg(config) {}
+TraceCache::TraceCache(const Config &config) : cfg(config)
+{
+    if (!cfg.diskRoot.empty())
+        setDiskRoot(cfg.diskRoot, cfg.diskMaxBytes);
+}
 
 TraceCache &
 TraceCache::global()
 {
     static TraceCache cache;
+    static std::once_flag once;
+    std::call_once(once, [] {
+        const char *dir = std::getenv("GDIFF_TRACE_CACHE_DIR");
+        if (dir && *dir)
+            cache.setDiskRoot(dir);
+    });
     return cache;
+}
+
+void
+TraceCache::setDiskRoot(const std::string &root, size_t maxBytes)
+{
+    std::shared_ptr<DiskTraceCache> tier;
+    if (!root.empty()) {
+        DiskTraceCache::Config dc;
+        dc.root = root;
+        dc.maxBytes = maxBytes;
+        tier = std::make_shared<DiskTraceCache>(dc);
+    }
+    std::lock_guard<std::mutex> guard(lock);
+    cfg.diskRoot = root;
+    cfg.diskMaxBytes = maxBytes;
+    disk = std::move(tier);
+}
+
+std::string
+TraceCache::diskRoot() const
+{
+    std::lock_guard<std::mutex> guard(lock);
+    return cfg.diskRoot;
 }
 
 TraceCache::Acquired
@@ -124,23 +170,41 @@ TraceCache::acquire(const std::string &workload, uint64_t seed,
     Acquired out;
     if (builder) {
         GDIFF_OBS_COUNT("trace_cache.miss", 1);
-        auto t0 = std::chrono::steady_clock::now();
-        std::shared_ptr<const MaterializedTrace> trace;
+
+        // A memory miss falls through to the persistent tier before
+        // paying for a generation; fresh generations are persisted
+        // for later processes.
+        std::shared_ptr<DiskTraceCache> tier;
         {
-            obs::ScopedTimer obsGen("trace.generate",
-                                    /*withSpan=*/true);
-            obsGen.arg("workload", workload);
-            trace =
-                MaterializedTrace::generate(workload, seed, records);
+            std::lock_guard<std::mutex> guard(lock);
+            tier = disk;
         }
-        std::chrono::duration<double> dt =
-            std::chrono::steady_clock::now() - t0;
-        out.generated = true;
-        out.generateSeconds = dt.count();
+        std::shared_ptr<const MaterializedTrace> trace;
+        if (tier) {
+            trace = tier->load(workload, seed, records);
+            out.fromDisk = (trace != nullptr);
+        }
+        if (!trace) {
+            auto t0 = std::chrono::steady_clock::now();
+            {
+                obs::ScopedTimer obsGen("trace.generate",
+                                        /*withSpan=*/true);
+                obsGen.arg("workload", workload);
+                trace = MaterializedTrace::generate(workload, seed,
+                                                    records);
+            }
+            std::chrono::duration<double> dt =
+                std::chrono::steady_clock::now() - t0;
+            out.generated = true;
+            out.generateSeconds = dt.count();
+            if (tier)
+                tier->store(workload, seed, records, *trace);
+        }
         promise.set_value(trace);
 
         std::lock_guard<std::mutex> guard(lock);
-        ++counters.generations;
+        if (out.generated)
+            ++counters.generations;
         auto it = entries.find(key);
         if (it != entries.end()) {
             it->second.bytes = trace->bytes();
@@ -181,10 +245,24 @@ TraceCache::evictLocked()
 TraceCache::Stats
 TraceCache::snapshot() const
 {
-    std::lock_guard<std::mutex> guard(lock);
-    Stats s = counters;
-    s.residentBytes = residentBytes;
-    s.entries = entries.size();
+    std::shared_ptr<DiskTraceCache> tier;
+    Stats s;
+    {
+        std::lock_guard<std::mutex> guard(lock);
+        s = counters;
+        s.residentBytes = residentBytes;
+        s.entries = entries.size();
+        tier = disk;
+    }
+    if (tier) {
+        DiskTraceCache::Stats d = tier->snapshot();
+        s.diskEnabled = true;
+        s.diskHits = d.hits;
+        s.diskMisses = d.misses;
+        s.diskStores = d.stores;
+        s.diskEvictions = d.evictions;
+        s.diskCorruptRecoveries = d.corruptRecoveries;
+    }
     return s;
 }
 

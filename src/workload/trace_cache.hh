@@ -39,6 +39,8 @@
 namespace gdiff {
 namespace workload {
 
+class DiskTraceCache;
+
 /**
  * An immutable materialized trace: the first @c records() records of
  * one (workload, seed) stream, stored as a vector of SoA chunks.
@@ -55,6 +57,14 @@ class MaterializedTrace
     static std::shared_ptr<const MaterializedTrace>
     generate(const std::string &workload, uint64_t seed,
              uint64_t maxRecords);
+
+    /**
+     * Adopt already-decoded chunks (the disk tier's loader). The
+     * stream must be in order; record count is the sum of the chunk
+     * sizes.
+     */
+    static std::shared_ptr<const MaterializedTrace>
+    fromChunks(std::vector<std::unique_ptr<TraceChunk>> chunks);
 
     /** @return the frozen chunks, in stream order. */
     const std::vector<std::unique_ptr<TraceChunk>> &chunks() const
@@ -109,20 +119,33 @@ class TraceCache
     {
         /// byte cap before LRU eviction; 0 = unbounded
         size_t maxBytes = size_t(512) << 20;
+        /// persistent tier root directory; empty = memory-only
+        std::string diskRoot;
+        /// byte cap for the persistent tier
+        size_t diskMaxBytes = size_t(2) << 30;
     };
 
     /** Point-in-time counters (monotonic except residentBytes). */
     struct Stats
     {
         uint64_t hits = 0;        ///< served from a resident trace
-        /// lookups that found no entry (every miss triggers a
-        /// generation, so misses == generations once all in-flight
-        /// materializations finish)
+        /// lookups that found no entry (every miss falls through to
+        /// the disk tier and then to a generation)
         uint64_t misses = 0;
         uint64_t generations = 0; ///< functional materializations
         uint64_t evictions = 0;   ///< entries dropped by LRU
         size_t residentBytes = 0; ///< bytes currently cached
         size_t entries = 0;       ///< triples currently cached
+
+        /// @name persistent tier (all zero when diskEnabled is false)
+        /// @{
+        bool diskEnabled = false;
+        uint64_t diskHits = 0;
+        uint64_t diskMisses = 0;
+        uint64_t diskStores = 0;
+        uint64_t diskEvictions = 0;
+        uint64_t diskCorruptRecoveries = 0;
+        /// @}
     };
 
     /** What acquire() hands back, with generate-vs-replay metadata. */
@@ -131,6 +154,8 @@ class TraceCache
         std::unique_ptr<TraceSource> source;
         /// true when *this call* materialized the trace
         bool generated = false;
+        /// true when *this call* loaded the trace from the disk tier
+        bool fromDisk = false;
         /// wall seconds this call spent generating (0 on replay)
         double generateSeconds = 0.0;
     };
@@ -158,7 +183,22 @@ class TraceCache
     /** Change the byte cap; evicts immediately if now exceeded. */
     void setMaxBytes(size_t bytes);
 
-    /** The process-wide instance the sweep runner uses. */
+    /**
+     * Attach (or, with an empty @p root, detach) the persistent disk
+     * tier. Misses fall through to disk before generating, and fresh
+     * generations are persisted for later processes.
+     */
+    void setDiskRoot(const std::string &root,
+                     size_t maxBytes = size_t(2) << 30);
+
+    /** @return the disk tier root, or empty when detached. */
+    std::string diskRoot() const;
+
+    /**
+     * The process-wide instance the sweep runner uses. On first use
+     * the GDIFF_TRACE_CACHE_DIR environment variable, when set and
+     * non-empty, attaches the persistent tier.
+     */
     static TraceCache &global();
 
   private:
@@ -192,6 +232,8 @@ class TraceCache
 
     mutable std::mutex lock;
     Config cfg;
+    /// persistent tier; shared_ptr so acquire() can use it unlocked
+    std::shared_ptr<DiskTraceCache> disk;
     std::map<Key, Entry> entries;
     /// LRU order, most recent at the back; only finished entries
     std::list<Key> lru;

@@ -1,16 +1,18 @@
 #include "workload/trace_io.hh"
 
 #include <array>
+#include <cstring>
 
 #include "util/logging.hh"
+#include "util/varint.hh"
 
 namespace gdiff {
 namespace workload {
 
 namespace {
 
-constexpr uint32_t traceMagic = 0x52544447; // "GDTR" little-endian
-constexpr uint32_t traceVersion = 2;
+constexpr uint32_t traceMagic = 0x52544447;  // "GDTR" little-endian
+constexpr uint32_t footerMagic = 0x33544447; // "GDT3" little-endian
 
 struct FileHeader
 {
@@ -20,70 +22,475 @@ struct FileHeader
 };
 static_assert(sizeof(FileHeader) == 16, "header layout");
 
+/** v3 per-block header: record count, payload length, payload digest. */
+struct BlockHeaderV3
+{
+    uint32_t n;
+    uint32_t payloadBytes;
+    uint64_t digest;
+};
+static_assert(sizeof(BlockHeaderV3) == 16, "block header layout");
+
+/** v3 trailer: whole-file integrity for persistent cache entries. */
+struct FooterV3
+{
+    uint32_t magic;
+    uint32_t reserved;
+    uint64_t digest; ///< FNV-1a over every block byte
+};
+static_assert(sizeof(FooterV3) == 16, "footer layout");
+
+/// per-column codec tags (v3)
+enum ColumnCodec : uint8_t
+{
+    codecRaw = 0,         ///< native-width little-endian elements
+    codecDeltaVarint = 1, ///< zigzag-varint consecutive deltas
+    codecDeltaRle = 2,    ///< run-length coded deltas (stride spans)
+    codecByteRle = 3,     ///< run-length coded bytes (u8 columns)
+    /// phase-transposed deltaRle: varint period L, then deltaRle of
+    /// the column split into L interleaved subsequences. A loop of L
+    /// instructions interleaves L per-PC streams in the global
+    /// column; transposing recovers each stream's *local* stride, so
+    /// a constant-stride loop collapses to one run per phase — the
+    /// paper's global-vs-local stride observation, used as a codec.
+    codecDeltaRleT = 4,
+    /// phase-transposed byteRle (periodic op/reg/flag columns)
+    codecByteRleT = 5,
+    /// phase-transposed deltaVarint: for columns where some phases
+    /// are noisy (no runs to collapse), one varint per element beats
+    /// deltaRle's (delta, run) pair — smaller and faster to decode
+    codecDeltaVarintT = 6,
+};
+
+/// longest phase period the encoder searches for — long enough for
+/// multi-iteration cycles (a loop whose phases take different paths
+/// repeats only once per full cycle of iterations)
+constexpr uint32_t maxPeriod = 48;
+
+/// elements scored per candidate period (a prefix is plenty to find
+/// the loop length, and bounds the O(n * maxPeriod) search)
+constexpr uint32_t periodScanWindow = 2048;
+
+/// columns per block, in on-disk order: op, rd, rs1, rs2, flags,
+/// target, imm, seq, pc, nextPc, value, effAddr
+constexpr unsigned numColumns = 12;
+
+/// bytes one record occupies across the raw v2 columns
+constexpr size_t v2RecordBytes = 5 * 1 + 4 + 6 * 8;
+
+/// upper bound on a v3 block payload: the encoder never emits a
+/// column larger than its raw form, plus 5 bytes of tag+length
+/// framing per column — anything bigger is corrupt by construction
+constexpr size_t maxV3PayloadBytes =
+    v2RecordBytes * TraceChunk::capacity + numColumns * 5;
+
 /**
- * One on-disk block: a u32 record count n, then these columns, each
- * n elements long. Instruction fields are split into scalar columns
- * so the layout is independent of isa::Instruction's padding.
+ * One on-disk block's instruction fields in scalar columns, so the
+ * layout is independent of isa::Instruction's padding. Doubles as
+ * gather (write) and scatter (read) scratch.
  */
 struct BlockColumns
 {
-    std::array<uint8_t, TraceChunk::capacity> op, rd, rs1, rs2, flags;
+    std::array<uint8_t, TraceChunk::capacity> op, rd, rs1, rs2;
     std::array<uint32_t, TraceChunk::capacity> target;
     std::array<int64_t, TraceChunk::capacity> imm;
 };
 
+/** Gather @p chunk's instruction fields into scalar columns. */
 void
-writeColumn(std::FILE *f, const void *data, size_t elemBytes,
-            uint32_t n)
+gatherInstColumns(const TraceChunk &chunk, BlockColumns &cols)
 {
-    if (std::fwrite(data, elemBytes, n, f) != n)
-        fatal("short write while appending a trace block");
-}
-
-void
-writeBlock(std::FILE *f, const TraceChunk &chunk)
-{
-    const uint32_t n = chunk.size;
-    GDIFF_ASSERT(n > 0 && n <= TraceChunk::capacity,
-                 "trace block size %u out of range", n);
-    if (std::fwrite(&n, sizeof(n), 1, f) != 1)
-        fatal("short write while appending a trace block");
-
-    BlockColumns cols;
-    for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t i = 0; i < chunk.size; ++i) {
         const isa::Instruction &in = chunk.inst[i];
         cols.op[i] = static_cast<uint8_t>(in.op);
         cols.rd[i] = in.rd;
         cols.rs1[i] = in.rs1;
         cols.rs2[i] = in.rs2;
-        cols.flags[i] = chunk.flags[i];
         cols.target[i] = in.target;
         cols.imm[i] = in.imm;
     }
-    writeColumn(f, cols.op.data(), 1, n);
-    writeColumn(f, cols.rd.data(), 1, n);
-    writeColumn(f, cols.rs1.data(), 1, n);
-    writeColumn(f, cols.rs2.data(), 1, n);
-    writeColumn(f, cols.flags.data(), 1, n);
-    writeColumn(f, cols.target.data(), sizeof(uint32_t), n);
-    writeColumn(f, cols.imm.data(), sizeof(int64_t), n);
-    writeColumn(f, chunk.seq.data(), sizeof(uint64_t), n);
-    writeColumn(f, chunk.pc.data(), sizeof(uint64_t), n);
-    writeColumn(f, chunk.nextPc.data(), sizeof(uint64_t), n);
-    writeColumn(f, chunk.value.data(), sizeof(int64_t), n);
-    writeColumn(f, chunk.effAddr.data(), sizeof(uint64_t), n);
+}
+
+/** Scatter decoded scalar columns back into @p chunk's instructions. */
+void
+scatterInstColumns(TraceChunk &chunk, const BlockColumns &cols,
+                   uint32_t n)
+{
+    for (uint32_t i = 0; i < n; ++i) {
+        isa::Instruction &in = chunk.inst[i];
+        in.op = static_cast<isa::Opcode>(cols.op[i]);
+        in.rd = cols.rd[i];
+        in.rs1 = cols.rs1[i];
+        in.rs2 = cols.rs2[i];
+        in.target = cols.target[i];
+        in.imm = cols.imm[i];
+    }
+}
+
+void
+appendLE32(std::vector<uint8_t> &out, uint32_t v)
+{
+    out.push_back(static_cast<uint8_t>(v));
+    out.push_back(static_cast<uint8_t>(v >> 8));
+    out.push_back(static_cast<uint8_t>(v >> 16));
+    out.push_back(static_cast<uint8_t>(v >> 24));
+}
+
+uint32_t
+readLE32(const uint8_t *p)
+{
+    return static_cast<uint32_t>(p[0]) |
+           static_cast<uint32_t>(p[1]) << 8 |
+           static_cast<uint32_t>(p[2]) << 16 |
+           static_cast<uint32_t>(p[3]) << 24;
+}
+
+/** Reorder @p v into @p t as L interleaved phase subsequences. */
+template <typename T>
+void
+transposePhases(const T *v, uint32_t n, uint32_t L, T *t)
+{
+    size_t idx = 0;
+    for (uint32_t p = 0; p < L; ++p)
+        for (uint32_t i = p; i < n; i += L)
+            t[idx++] = v[i];
+}
+
+/** Inverse of transposePhases(). */
+template <typename T>
+void
+untransposePhases(const T *t, uint32_t n, uint32_t L, T *v)
+{
+    size_t idx = 0;
+    for (uint32_t p = 0; p < L; ++p)
+        for (uint32_t i = p; i < n; i += L)
+            v[i] = t[idx++];
+}
+
+/**
+ * @return the period L (2..maxPeriod) at which the column's lag-L
+ * deltas are most nearly constant per phase, or 1 when no period
+ * shows a useful signal. Even a partial signal (a loop where only
+ * some phases stride regularly) is worth transposing — the final
+ * choice is by encoded size, so a bad guess costs nothing on disk.
+ */
+uint32_t
+bestWidePeriod(const uint64_t *v, uint32_t n)
+{
+    if (n < 4 * 2)
+        return 1;
+    const uint32_t window = n < periodScanWindow ? n : periodScanWindow;
+    uint32_t bestL = 1;
+    uint64_t bestScore = 0;
+    for (uint32_t L = 2; L <= maxPeriod && 2 * L < window; ++L) {
+        uint64_t score = 0;
+        for (uint32_t i = 2 * L; i < window; ++i)
+            score += (v[i] - v[i - L]) == (v[i - L] - v[i - 2 * L]);
+        // Normalize so long and short periods compete fairly within
+        // the shared window.
+        score = score * window / (window - 2 * L);
+        if (score > bestScore && score * 8 >= window) {
+            bestScore = score;
+            bestL = L;
+        }
+    }
+    return bestL;
+}
+
+/** Same idea for u8 columns: lag-L equality instead of lag-L deltas. */
+uint32_t
+bestBytePeriod(const uint8_t *v, uint32_t n)
+{
+    if (n < 4 * 2)
+        return 1;
+    const uint32_t window = n < periodScanWindow ? n : periodScanWindow;
+    uint32_t bestL = 1;
+    uint64_t bestScore = 0;
+    for (uint32_t L = 2; L <= maxPeriod && L < window; ++L) {
+        uint64_t score = 0;
+        for (uint32_t i = L; i < window; ++i)
+            score += v[i] == v[i - L];
+        score = score * window / (window - L);
+        if (score > bestScore && score * 8 >= window) {
+            bestScore = score;
+            bestL = L;
+        }
+    }
+    return bestL;
+}
+
+TraceIoResult
+ioError(TraceIoStatus status, std::string message)
+{
+    return TraceIoResult{status, std::move(message)};
 }
 
 } // anonymous namespace
 
-// ----------------------------------------------------------- TraceWriter
+namespace detail {
 
-TraceWriter::TraceWriter(const std::string &path)
+/** Heap scratch for block decoding (~250 KiB, reused per reader). */
+struct TraceDecodeScratch
 {
+    BlockColumns cols;
+    /// wide-lane staging for delta-decoded 64-bit columns
+    std::array<uint64_t, TraceChunk::capacity> lanes;
+    /// staging for phase-transposed codecs (decoded before the
+    /// un-transpose pass)
+    std::array<uint64_t, TraceChunk::capacity> lanesT;
+    std::array<uint8_t, TraceChunk::capacity> bytesT;
+};
+
+} // namespace detail
+
+const char *
+traceIoStatusName(TraceIoStatus s)
+{
+    switch (s) {
+    case TraceIoStatus::Ok: return "ok";
+    case TraceIoStatus::End: return "end";
+    case TraceIoStatus::IoError: return "io_error";
+    case TraceIoStatus::Truncated: return "truncated";
+    case TraceIoStatus::BadMagic: return "bad_magic";
+    case TraceIoStatus::BadVersion: return "bad_version";
+    case TraceIoStatus::Corrupt: return "corrupt";
+    case TraceIoStatus::DigestMismatch: return "digest_mismatch";
+    }
+    return "unknown";
+}
+
+// -------------------------------------------------- shared decoding
+
+namespace {
+
+/**
+ * Decode one v3 column payload into @p dest64 lanes (wide columns)
+ * or @p dest8 bytes (u8 columns). Exactly one of dest64/dest8 is
+ * non-null; @p elemBytes is the raw element width (1, 4, or 8).
+ * @return false on any structural violation.
+ */
+/** Parse a transposed-codec prefix: the phase period L. */
+bool
+getPeriod(const uint8_t *&data, uint32_t &len, uint32_t n,
+          uint32_t *period)
+{
+    uint64_t L = 0;
+    size_t used = codec::getVarint(data, data + len, &L);
+    if (used == 0 || L < 2 || L > n)
+        return false;
+    data += used;
+    len -= static_cast<uint32_t>(used);
+    *period = static_cast<uint32_t>(L);
+    return true;
+}
+
+bool
+decodeColumn(uint8_t tag, const uint8_t *data, uint32_t len,
+             uint32_t n, size_t elemBytes, uint64_t *dest64,
+             uint8_t *dest8, detail::TraceDecodeScratch &s)
+{
+    if (dest8) {
+        switch (tag) {
+        case codecRaw:
+            if (len != n)
+                return false;
+            std::memcpy(dest8, data, n);
+            return true;
+        case codecByteRle:
+            return codec::decodeByteRle(data, len, dest8, n);
+        case codecByteRleT: {
+            uint32_t L = 0;
+            if (!getPeriod(data, len, n, &L))
+                return false;
+            if (!codec::decodeByteRle(data, len, s.bytesT.data(), n))
+                return false;
+            untransposePhases(s.bytesT.data(), n, L, dest8);
+            return true;
+        }
+        default:
+            return false; // delta codecs never apply to u8 columns
+        }
+    }
+    switch (tag) {
+    case codecRaw: {
+        if (len != elemBytes * n)
+            return false;
+        if (elemBytes == 8) {
+            std::memcpy(dest64, data, len);
+        } else { // widen raw u32 elements into the lanes
+            for (uint32_t i = 0; i < n; ++i)
+                dest64[i] = readLE32(data + size_t(i) * 4);
+        }
+        return true;
+    }
+    case codecDeltaVarint:
+        return codec::decodeDeltaVarint(data, len, dest64, n);
+    case codecDeltaRle:
+        return codec::decodeDeltaRle(data, len, dest64, n);
+    case codecDeltaRleT:
+    case codecDeltaVarintT: {
+        uint32_t L = 0;
+        if (!getPeriod(data, len, n, &L))
+            return false;
+        bool ok = tag == codecDeltaRleT
+                      ? codec::decodeDeltaRle(data, len,
+                                              s.lanesT.data(), n)
+                      : codec::decodeDeltaVarint(data, len,
+                                                 s.lanesT.data(), n);
+        if (!ok)
+            return false;
+        untransposePhases(s.lanesT.data(), n, L, dest64);
+        return true;
+    }
+    default:
+        return false;
+    }
+}
+
+/**
+ * Decode a complete v3 column section (@p bytes bytes at @p payload)
+ * into @p chunk. On failure @p why names the offending column.
+ */
+bool
+decodeColumnsV3(const uint8_t *payload, size_t bytes, uint32_t n,
+                TraceChunk &chunk, detail::TraceDecodeScratch &s,
+                std::string *why)
+{
+    const uint8_t *p = payload;
+    const uint8_t *end = payload + bytes;
+
+    struct ColumnDest
+    {
+        const char *name;
+        size_t elemBytes;
+        uint64_t *dest64;
+        uint8_t *dest8;
+    };
+    // On-disk column order. Wide signed/narrow columns stage through
+    // scratch lanes; unsigned 64-bit columns decode in place.
+    const ColumnDest columns[numColumns] = {
+        {"op", 1, nullptr, s.cols.op.data()},
+        {"rd", 1, nullptr, s.cols.rd.data()},
+        {"rs1", 1, nullptr, s.cols.rs1.data()},
+        {"rs2", 1, nullptr, s.cols.rs2.data()},
+        {"flags", 1, nullptr, chunk.flags.data()},
+        {"target", 4, s.lanes.data(), nullptr},
+        {"imm", 8, s.lanes.data(), nullptr},
+        {"seq", 8, chunk.seq.data(), nullptr},
+        {"pc", 8, chunk.pc.data(), nullptr},
+        {"nextPc", 8, chunk.nextPc.data(), nullptr},
+        {"value", 8, s.lanes.data(), nullptr},
+        {"effAddr", 8, chunk.effAddr.data(), nullptr},
+    };
+
+    for (unsigned c = 0; c < numColumns; ++c) {
+        const ColumnDest &col = columns[c];
+        if (end - p < 5) {
+            *why = "column directory truncated";
+            return false;
+        }
+        uint8_t tag = p[0];
+        uint32_t len = readLE32(p + 1);
+        p += 5;
+        if (static_cast<size_t>(end - p) < len) {
+            *why = std::string("column '") + col.name +
+                   "' overruns the block payload";
+            return false;
+        }
+        if (!decodeColumn(tag, p, len, n, col.elemBytes, col.dest64,
+                          col.dest8, s)) {
+            *why = std::string("column '") + col.name +
+                   "' payload is malformed";
+            return false;
+        }
+        p += len;
+
+        // Move staged lanes into their typed destinations.
+        if (col.dest64 == s.lanes.data()) {
+            if (col.name[0] == 't') { // target
+                for (uint32_t i = 0; i < n; ++i)
+                    s.cols.target[i] =
+                        static_cast<uint32_t>(s.lanes[i]);
+            } else if (col.name[0] == 'i') { // imm
+                std::memcpy(s.cols.imm.data(), s.lanes.data(),
+                            size_t(n) * 8);
+            } else { // value
+                std::memcpy(chunk.value.data(), s.lanes.data(),
+                            size_t(n) * 8);
+            }
+        }
+    }
+    if (p != end) {
+        *why = "trailing bytes after the last column";
+        return false;
+    }
+    scatterInstColumns(chunk, s.cols, n);
+    chunk.size = n;
+    return true;
+}
+
+/** Decode a raw v2 column section (exactly v2RecordBytes*n bytes). */
+void
+decodeColumnsV2(const uint8_t *p, uint32_t n, TraceChunk &chunk,
+                detail::TraceDecodeScratch &s)
+{
+    auto take = [&](void *dest, size_t elemBytes) {
+        std::memcpy(dest, p, elemBytes * n);
+        p += elemBytes * n;
+    };
+    take(s.cols.op.data(), 1);
+    take(s.cols.rd.data(), 1);
+    take(s.cols.rs1.data(), 1);
+    take(s.cols.rs2.data(), 1);
+    take(chunk.flags.data(), 1);
+    take(s.cols.target.data(), 4);
+    take(s.cols.imm.data(), 8);
+    take(chunk.seq.data(), 8);
+    take(chunk.pc.data(), 8);
+    take(chunk.nextPc.data(), 8);
+    take(chunk.value.data(), 8);
+    take(chunk.effAddr.data(), 8);
+    scatterInstColumns(chunk, s.cols, n);
+    chunk.size = n;
+}
+
+/** Validate a file header; fills @p version/@p count on success. */
+TraceIoResult
+checkHeader(const FileHeader &h, const std::string &name,
+            uint32_t maxVersion, uint32_t *version, uint64_t *count)
+{
+    if (h.magic != traceMagic) {
+        return ioError(TraceIoStatus::BadMagic,
+                       formatString("'%s' is not a gdiff trace "
+                                    "(bad magic)",
+                                    name.c_str()));
+    }
+    if (h.version < traceVersionMin || h.version > maxVersion) {
+        return ioError(
+            TraceIoStatus::BadVersion,
+            formatString("trace '%s' has format version %u; this "
+                         "reader supports versions %u..%u",
+                         name.c_str(), h.version, traceVersionMin,
+                         maxVersion));
+    }
+    *version = h.version;
+    *count = h.count;
+    return TraceIoResult{};
+}
+
+} // anonymous namespace
+
+// ----------------------------------------------------- TraceWriter
+
+TraceWriter::TraceWriter(const std::string &p, uint32_t version)
+    : path(p), ver(version), fileDigest(codec::fnvOffsetBasis)
+{
+    GDIFF_ASSERT(ver == traceVersionV2 || ver == traceVersionV3,
+                 "unsupported trace write version %u", ver);
     file = std::fopen(path.c_str(), "wb");
     if (!file)
         fatal("cannot create trace file '%s'", path.c_str());
-    FileHeader h{traceMagic, traceVersion, 0};
+    FileHeader h{traceMagic, ver, 0};
     if (std::fwrite(&h, sizeof(h), 1, file) != 1)
         fatal("cannot write trace header to '%s'", path.c_str());
 }
@@ -114,7 +521,7 @@ TraceWriter::append(const TraceChunk &chunk)
     // Flush the partial per-record block first so records stay in
     // stream order whatever mix of append() overloads fed the file.
     flushPending();
-    writeBlock(file, chunk);
+    writeBlock(chunk);
     count += chunk.size;
 }
 
@@ -123,8 +530,144 @@ TraceWriter::flushPending()
 {
     if (!pending || pending->empty())
         return;
-    writeBlock(file, *pending);
+    writeBlock(*pending); // records were counted as they arrived
     pending->clear();
+}
+
+void
+TraceWriter::writeBlock(const TraceChunk &chunk)
+{
+    const uint32_t n = chunk.size;
+    GDIFF_ASSERT(n > 0 && n <= TraceChunk::capacity,
+                 "trace block size %u out of range", n);
+
+    auto writeRaw = [&](const void *data, size_t bytes) {
+        if (bytes > 0 &&
+            std::fwrite(data, 1, bytes, file) != bytes) {
+            fatal("short write while appending a trace block");
+        }
+    };
+
+    auto cols = std::make_unique<BlockColumns>();
+    gatherInstColumns(chunk, *cols);
+
+    if (ver == traceVersionV2) {
+        writeRaw(&n, sizeof(n));
+        writeRaw(cols->op.data(), n);
+        writeRaw(cols->rd.data(), n);
+        writeRaw(cols->rs1.data(), n);
+        writeRaw(cols->rs2.data(), n);
+        writeRaw(chunk.flags.data(), n);
+        writeRaw(cols->target.data(), size_t(n) * 4);
+        writeRaw(cols->imm.data(), size_t(n) * 8);
+        writeRaw(chunk.seq.data(), size_t(n) * 8);
+        writeRaw(chunk.pc.data(), size_t(n) * 8);
+        writeRaw(chunk.nextPc.data(), size_t(n) * 8);
+        writeRaw(chunk.value.data(), size_t(n) * 8);
+        writeRaw(chunk.effAddr.data(), size_t(n) * 8);
+        return;
+    }
+
+    // v3: encode each column, keeping the smallest of the candidate
+    // encodings, raw included — incompressible columns cost only the
+    // 5-byte tag+length framing over v2.
+    payload.clear();
+    auto putTagged = [&](uint8_t tag, const uint8_t *data,
+                         size_t bytes) {
+        payload.push_back(tag);
+        appendLE32(payload, static_cast<uint32_t>(bytes));
+        payload.insert(payload.end(), data, data + bytes);
+    };
+    auto lanes = std::make_unique<
+        std::array<uint64_t, TraceChunk::capacity>>();
+    auto transposed = std::make_unique<
+        std::array<uint64_t, TraceChunk::capacity>>();
+    auto bytesT = std::make_unique<
+        std::array<uint8_t, TraceChunk::capacity>>();
+
+    auto putU8 = [&](const uint8_t *col) {
+        candA.clear();
+        codec::encodeByteRle(col, n, candA);
+        candC.clear();
+        uint32_t L = bestBytePeriod(col, n);
+        if (L > 1) { // periodic u8 stream: RLE each phase
+            codec::putVarint(candC, L);
+            transposePhases(col, n, L, bytesT->data());
+            codec::encodeByteRle(bytesT->data(), n, candC);
+        }
+        size_t best = std::min<size_t>(n, candA.size());
+        if (!candC.empty())
+            best = std::min(best, candC.size());
+        if (!candC.empty() && candC.size() == best)
+            putTagged(codecByteRleT, candC.data(), candC.size());
+        else if (candA.size() == best)
+            putTagged(codecByteRle, candA.data(), candA.size());
+        else
+            putTagged(codecRaw, col, n);
+    };
+    auto putWide = [&](const uint64_t *v, const void *raw,
+                       size_t elemBytes) {
+        candA.clear();
+        codec::encodeDeltaVarint(v, n, candA);
+        candB.clear();
+        codec::encodeDeltaRle(v, n, candB);
+        candC.clear();
+        candD.clear();
+        uint32_t L = bestWidePeriod(v, n);
+        if (L > 1) { // interleaved strides: encode each phase
+            transposePhases(v, n, L, transposed->data());
+            codec::putVarint(candC, L);
+            codec::encodeDeltaRle(transposed->data(), n, candC);
+            codec::putVarint(candD, L);
+            codec::encodeDeltaVarint(transposed->data(), n, candD);
+        }
+        size_t rawBytes = elemBytes * n;
+        size_t best = std::min(rawBytes,
+                               std::min(candA.size(), candB.size()));
+        if (!candC.empty())
+            best = std::min(best, std::min(candC.size(),
+                                           candD.size()));
+        if (!candC.empty() && candC.size() == best)
+            putTagged(codecDeltaRleT, candC.data(), candC.size());
+        else if (!candD.empty() && candD.size() == best)
+            putTagged(codecDeltaVarintT, candD.data(), candD.size());
+        else if (candB.size() == best)
+            putTagged(codecDeltaRle, candB.data(), candB.size());
+        else if (candA.size() == best)
+            putTagged(codecDeltaVarint, candA.data(), candA.size());
+        else
+            putTagged(codecRaw, static_cast<const uint8_t *>(raw),
+                      rawBytes);
+    };
+
+    auto widen32 = [&](const uint32_t *src) {
+        for (uint32_t i = 0; i < n; ++i)
+            (*lanes)[i] = src[i];
+        return lanes->data();
+    };
+
+    putU8(cols->op.data());
+    putU8(cols->rd.data());
+    putU8(cols->rs1.data());
+    putU8(cols->rs2.data());
+    putU8(chunk.flags.data());
+    putWide(widen32(cols->target.data()), cols->target.data(), 4);
+    putWide(reinterpret_cast<const uint64_t *>(cols->imm.data()),
+            cols->imm.data(), 8);
+    putWide(chunk.seq.data(), chunk.seq.data(), 8);
+    putWide(chunk.pc.data(), chunk.pc.data(), 8);
+    putWide(chunk.nextPc.data(), chunk.nextPc.data(), 8);
+    putWide(reinterpret_cast<const uint64_t *>(chunk.value.data()),
+            chunk.value.data(), 8);
+    putWide(chunk.effAddr.data(), chunk.effAddr.data(), 8);
+
+    BlockHeaderV3 bh{n, static_cast<uint32_t>(payload.size()),
+                     codec::fnv1a(payload.data(), payload.size())};
+    fileDigest = codec::fnv1a(&bh, sizeof(bh), fileDigest);
+    fileDigest =
+        codec::fnv1a(payload.data(), payload.size(), fileDigest);
+    writeRaw(&bh, sizeof(bh));
+    writeRaw(payload.data(), payload.size());
 }
 
 void
@@ -133,8 +676,13 @@ TraceWriter::close()
     if (!file)
         return;
     flushPending();
+    if (ver == traceVersionV3) {
+        FooterV3 foot{footerMagic, 0, fileDigest};
+        if (std::fwrite(&foot, sizeof(foot), 1, file) != 1)
+            fatal("cannot write trace footer to '%s'", path.c_str());
+    }
     // Finalise the record count in the header.
-    FileHeader h{traceMagic, traceVersion, count};
+    FileHeader h{traceMagic, ver, count};
     if (std::fseek(file, 0, SEEK_SET) != 0 ||
         std::fwrite(&h, sizeof(h), 1, file) != 1) {
         fatal("cannot finalise trace header");
@@ -143,93 +691,333 @@ TraceWriter::close()
     file = nullptr;
 }
 
-// ------------------------------------------------------ TraceFileSource
+// ------------------------------------------------- TraceFileReader
 
-TraceFileSource::TraceFileSource(const std::string &p) : path(p)
-{
-    file = std::fopen(path.c_str(), "rb");
-    if (!file)
-        fatal("cannot open trace file '%s'", path.c_str());
-    FileHeader h{};
-    if (std::fread(&h, sizeof(h), 1, file) != 1)
-        fatal("trace file '%s' is truncated", path.c_str());
-    if (h.magic != traceMagic)
-        fatal("'%s' is not a gdiff trace (bad magic)", path.c_str());
-    if (h.version != traceVersion) {
-        fatal("trace '%s' has version %u, expected %u", path.c_str(),
-              h.version, traceVersion);
-    }
-    total = h.count;
-}
+TraceFileReader::TraceFileReader()
+    : scratch(std::make_unique<detail::TraceDecodeScratch>())
+{}
 
-TraceFileSource::~TraceFileSource()
+TraceFileReader::~TraceFileReader()
 {
     if (file)
         std::fclose(file);
 }
 
+TraceIoResult
+TraceFileReader::open(const std::string &p, uint32_t maxVersion)
+{
+    if (file) {
+        std::fclose(file);
+        file = nullptr;
+    }
+    path = p;
+    file = std::fopen(path.c_str(), "rb");
+    if (!file) {
+        return ioError(TraceIoStatus::IoError,
+                       formatString("cannot open trace file '%s'",
+                                    path.c_str()));
+    }
+    FileHeader h{};
+    if (std::fread(&h, sizeof(h), 1, file) != 1) {
+        return ioError(TraceIoStatus::Truncated,
+                       formatString("trace file '%s' is truncated",
+                                    path.c_str()));
+    }
+    TraceIoResult r = checkHeader(h, path, maxVersion, &ver, &total);
+    if (r.failed())
+        return r;
+    consumed = 0;
+    runningDigest = codec::fnvOffsetBasis;
+    footerVerified = false;
+    return TraceIoResult{};
+}
+
+TraceIoResult
+TraceFileReader::read(TraceChunk &chunk)
+{
+    chunk.clear();
+    if (!file) {
+        return ioError(TraceIoStatus::IoError,
+                       "read from an unopened trace reader");
+    }
+
+    auto truncated = [&]() {
+        return ioError(
+            TraceIoStatus::Truncated,
+            formatString("trace '%s' truncated after %llu of %llu "
+                         "records",
+                         path.c_str(),
+                         static_cast<unsigned long long>(consumed),
+                         static_cast<unsigned long long>(total)));
+    };
+
+    if (consumed >= total) {
+        if (ver == traceVersionV3 && !footerVerified) {
+            FooterV3 foot{};
+            if (std::fread(&foot, sizeof(foot), 1, file) != 1) {
+                return ioError(
+                    TraceIoStatus::Truncated,
+                    formatString("trace '%s' is truncated (missing "
+                                 "footer)",
+                                 path.c_str()));
+            }
+            if (foot.magic != footerMagic) {
+                return ioError(
+                    TraceIoStatus::Corrupt,
+                    formatString("trace '%s' has a corrupt footer",
+                                 path.c_str()));
+            }
+            if (foot.digest != runningDigest) {
+                return ioError(
+                    TraceIoStatus::DigestMismatch,
+                    formatString("trace '%s' file digest mismatch "
+                                 "(corrupt or tampered stream)",
+                                 path.c_str()));
+            }
+            footerVerified = true;
+        }
+        return ioError(TraceIoStatus::End, "");
+    }
+
+    if (ver == traceVersionV2) {
+        uint32_t n = 0;
+        if (std::fread(&n, sizeof(n), 1, file) != 1)
+            return truncated();
+        if (n == 0 || n > TraceChunk::capacity ||
+            n > total - consumed) {
+            return ioError(
+                TraceIoStatus::Corrupt,
+                formatString("trace '%s' has a corrupt block of %u "
+                             "records",
+                             path.c_str(), n));
+        }
+        blockBuf.resize(v2RecordBytes * n);
+        if (std::fread(blockBuf.data(), 1, blockBuf.size(), file) !=
+            blockBuf.size()) {
+            return truncated();
+        }
+        decodeColumnsV2(blockBuf.data(), n, chunk, *scratch);
+        consumed += n;
+        return TraceIoResult{};
+    }
+
+    BlockHeaderV3 bh{};
+    if (std::fread(&bh, sizeof(bh), 1, file) != 1)
+        return truncated();
+    if (bh.n == 0 || bh.n > TraceChunk::capacity ||
+        bh.n > total - consumed || bh.payloadBytes == 0 ||
+        bh.payloadBytes > maxV3PayloadBytes) {
+        return ioError(
+            TraceIoStatus::Corrupt,
+            formatString("trace '%s' has a corrupt block header "
+                         "(%u records, %u payload bytes)",
+                         path.c_str(), bh.n, bh.payloadBytes));
+    }
+    blockBuf.resize(bh.payloadBytes);
+    if (std::fread(blockBuf.data(), 1, blockBuf.size(), file) !=
+        blockBuf.size()) {
+        return truncated();
+    }
+    if (codec::fnv1a(blockBuf.data(), blockBuf.size()) != bh.digest) {
+        return ioError(
+            TraceIoStatus::DigestMismatch,
+            formatString("trace '%s' block digest mismatch after "
+                         "%llu records",
+                         path.c_str(),
+                         static_cast<unsigned long long>(consumed)));
+    }
+    std::string why;
+    if (!decodeColumnsV3(blockBuf.data(), blockBuf.size(), bh.n,
+                         chunk, *scratch, &why)) {
+        return ioError(
+            TraceIoStatus::Corrupt,
+            formatString("trace '%s' has a corrupt block: %s",
+                         path.c_str(), why.c_str()));
+    }
+    runningDigest = codec::fnv1a(&bh, sizeof(bh), runningDigest);
+    runningDigest =
+        codec::fnv1a(blockBuf.data(), blockBuf.size(), runningDigest);
+    consumed += bh.n;
+    return TraceIoResult{};
+}
+
+TraceIoResult
+TraceFileReader::rewind()
+{
+    if (!file) {
+        return ioError(TraceIoStatus::IoError,
+                       "rewind of an unopened trace reader");
+    }
+    if (std::fseek(file, sizeof(FileHeader), SEEK_SET) != 0) {
+        return ioError(TraceIoStatus::IoError,
+                       formatString("cannot rewind trace file '%s'",
+                                    path.c_str()));
+    }
+    consumed = 0;
+    runningDigest = codec::fnvOffsetBasis;
+    footerVerified = false;
+    return TraceIoResult{};
+}
+
+// ----------------------------------------------- TraceBufferReader
+
+TraceBufferReader::TraceBufferReader()
+    : scratch(std::make_unique<detail::TraceDecodeScratch>())
+{}
+
+TraceBufferReader::~TraceBufferReader() = default;
+
+TraceIoResult
+TraceBufferReader::open(const uint8_t *data, size_t size,
+                        uint32_t maxVersion)
+{
+    cursor = nullptr;
+    end = nullptr;
+    if (size < sizeof(FileHeader)) {
+        return ioError(TraceIoStatus::Truncated,
+                       "trace image is smaller than its header");
+    }
+    FileHeader h{};
+    std::memcpy(&h, data, sizeof(h));
+    TraceIoResult r =
+        checkHeader(h, "<buffer>", maxVersion, &ver, &total);
+    if (r.failed())
+        return r;
+    cursor = data + sizeof(FileHeader);
+    end = data + size;
+    consumed = 0;
+    runningDigest = codec::fnvOffsetBasis;
+    return TraceIoResult{};
+}
+
+TraceIoResult
+TraceBufferReader::read(TraceChunk &chunk)
+{
+    chunk.clear();
+    if (!cursor) {
+        return ioError(TraceIoStatus::IoError,
+                       "read from an unopened trace image");
+    }
+
+    auto truncated = [&]() {
+        return ioError(
+            TraceIoStatus::Truncated,
+            formatString("trace image truncated after %llu of %llu "
+                         "records",
+                         static_cast<unsigned long long>(consumed),
+                         static_cast<unsigned long long>(total)));
+    };
+
+    if (consumed >= total) {
+        if (ver == traceVersionV3) {
+            FooterV3 foot{};
+            if (static_cast<size_t>(end - cursor) < sizeof(foot))
+                return truncated();
+            std::memcpy(&foot, cursor, sizeof(foot));
+            if (foot.magic != footerMagic) {
+                return ioError(TraceIoStatus::Corrupt,
+                               "trace image has a corrupt footer");
+            }
+            if (foot.digest != runningDigest) {
+                return ioError(TraceIoStatus::DigestMismatch,
+                               "trace image file digest mismatch "
+                               "(corrupt or tampered stream)");
+            }
+        }
+        return ioError(TraceIoStatus::End, "");
+    }
+
+    if (ver == traceVersionV2) {
+        if (static_cast<size_t>(end - cursor) < 4)
+            return truncated();
+        uint32_t n = readLE32(cursor);
+        if (n == 0 || n > TraceChunk::capacity ||
+            n > total - consumed) {
+            return ioError(
+                TraceIoStatus::Corrupt,
+                formatString("trace image has a corrupt block of %u "
+                             "records",
+                             n));
+        }
+        if (static_cast<size_t>(end - cursor - 4) <
+            v2RecordBytes * n) {
+            return truncated();
+        }
+        decodeColumnsV2(cursor + 4, n, chunk, *scratch);
+        cursor += 4 + v2RecordBytes * n;
+        consumed += n;
+        return TraceIoResult{};
+    }
+
+    BlockHeaderV3 bh{};
+    if (static_cast<size_t>(end - cursor) < sizeof(bh))
+        return truncated();
+    std::memcpy(&bh, cursor, sizeof(bh));
+    if (bh.n == 0 || bh.n > TraceChunk::capacity ||
+        bh.n > total - consumed || bh.payloadBytes == 0 ||
+        bh.payloadBytes > maxV3PayloadBytes) {
+        return ioError(
+            TraceIoStatus::Corrupt,
+            formatString("trace image has a corrupt block header "
+                         "(%u records, %u payload bytes)",
+                         bh.n, bh.payloadBytes));
+    }
+    if (static_cast<size_t>(end - cursor - sizeof(bh)) <
+        bh.payloadBytes) {
+        return truncated();
+    }
+    const uint8_t *payload = cursor + sizeof(bh);
+    if (codec::fnv1a(payload, bh.payloadBytes) != bh.digest) {
+        return ioError(
+            TraceIoStatus::DigestMismatch,
+            formatString("trace image block digest mismatch after "
+                         "%llu records",
+                         static_cast<unsigned long long>(consumed)));
+    }
+    std::string why;
+    if (!decodeColumnsV3(payload, bh.payloadBytes, bh.n, chunk,
+                         *scratch, &why)) {
+        return ioError(
+            TraceIoStatus::Corrupt,
+            formatString("trace image has a corrupt block: %s",
+                         why.c_str()));
+    }
+    runningDigest = codec::fnv1a(&bh, sizeof(bh), runningDigest);
+    runningDigest =
+        codec::fnv1a(payload, bh.payloadBytes, runningDigest);
+    cursor += sizeof(bh) + bh.payloadBytes;
+    consumed += bh.n;
+    return TraceIoResult{};
+}
+
+// ------------------------------------------------ TraceFileSource
+
+TraceFileSource::TraceFileSource(const std::string &p) : path(p)
+{
+    TraceIoResult r = reader.open(path);
+    if (r.failed())
+        fatal("%s", r.message.c_str());
+}
+
+TraceFileSource::~TraceFileSource() = default;
+
 bool
 TraceFileSource::fill(TraceChunk &chunk)
 {
-    chunk.clear();
-    if (consumed >= total)
+    TraceIoResult r = reader.read(chunk);
+    if (r.ok())
+        return true;
+    if (r.end())
         return false;
-
-    auto truncated = [&]() {
-        fatal("trace truncated after %llu of %llu records",
-              static_cast<unsigned long long>(consumed),
-              static_cast<unsigned long long>(total));
-    };
-
-    uint32_t n = 0;
-    if (std::fread(&n, sizeof(n), 1, file) != 1)
-        truncated();
-    if (n == 0 || n > TraceChunk::capacity ||
-        n > total - consumed) {
-        fatal("trace '%s' has a corrupt block of %u records",
-              path.c_str(), n);
-    }
-
-    auto readColumn = [&](void *data, size_t elemBytes) {
-        if (std::fread(data, elemBytes, n, file) != n)
-            truncated();
-    };
-    BlockColumns cols;
-    readColumn(cols.op.data(), 1);
-    readColumn(cols.rd.data(), 1);
-    readColumn(cols.rs1.data(), 1);
-    readColumn(cols.rs2.data(), 1);
-    readColumn(cols.flags.data(), 1);
-    readColumn(cols.target.data(), sizeof(uint32_t));
-    readColumn(cols.imm.data(), sizeof(int64_t));
-    readColumn(chunk.seq.data(), sizeof(uint64_t));
-    readColumn(chunk.pc.data(), sizeof(uint64_t));
-    readColumn(chunk.nextPc.data(), sizeof(uint64_t));
-    readColumn(chunk.value.data(), sizeof(int64_t));
-    readColumn(chunk.effAddr.data(), sizeof(uint64_t));
-
-    for (uint32_t i = 0; i < n; ++i) {
-        isa::Instruction &in = chunk.inst[i];
-        in.op = static_cast<isa::Opcode>(cols.op[i]);
-        in.rd = cols.rd[i];
-        in.rs1 = cols.rs1[i];
-        in.rs2 = cols.rs2[i];
-        in.target = cols.target[i];
-        in.imm = cols.imm[i];
-        chunk.flags[i] = cols.flags[i];
-    }
-    chunk.size = n;
-    consumed += n;
-    return true;
+    fatal("%s", r.message.c_str());
 }
 
 void
 TraceFileSource::rewind()
 {
-    GDIFF_ASSERT(file != nullptr, "rewind of a closed trace");
-    if (std::fseek(file, sizeof(FileHeader), SEEK_SET) != 0)
-        fatal("cannot rewind trace file");
-    consumed = 0;
+    TraceIoResult r = reader.rewind();
+    if (r.failed())
+        fatal("%s", r.message.c_str());
     resetBuffer();
 }
 

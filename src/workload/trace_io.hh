@@ -5,15 +5,42 @@
  * natural interchange point for driving the predictors from traces
  * produced elsewhere).
  *
- * Format (version 2, chunked columnar): a 16-byte header (magic
- * "GDTR", version, record count) followed by blocks of up to
- * TraceChunk::capacity records. Each block is a u32 record count and
- * then one little-endian column per field (op, rd, rs1, rs2, flags,
- * target, imm, seq, pc, nextPc, value, effAddr) — the on-disk mirror
- * of the in-memory structure-of-arrays TraceChunk, so replay is a
- * handful of bulk freads per 4K records. The format is versioned and
- * validated on open; readers reject mismatched magic/version and
- * truncated files.
+ * Two on-disk formats share the 16-byte header (magic "GDTR",
+ * version, record count) and the same block structure of up to
+ * TraceChunk::capacity records per block:
+ *
+ *  - Version 2 (chunked columnar, raw): each block is a u32 record
+ *    count followed by one little-endian column per field — the
+ *    on-disk mirror of the in-memory SoA TraceChunk.
+ *
+ *  - Version 3 (chunked columnar, stride-delta compressed): each
+ *    block is a u32 record count, a u32 payload length, a u64 FNV-1a
+ *    digest of the payload, and then one *codec-tagged* column per
+ *    field: the writer delta-encodes each column (util/varint.hh —
+ *    zigzag-varint deltas, or run-length coded deltas for
+ *    constant-stride spans) and keeps whichever encoding is smallest,
+ *    falling back to the raw column when the data is incompressible.
+ *    A 16-byte footer carries an FNV-1a digest of every block byte,
+ *    so whole-file integrity can be checked cheaply (the persistent
+ *    disk cache does, before trusting an entry). Stride-dominant
+ *    streams — the paper's whole subject — compress by an order of
+ *    magnitude; see bench/trace_compress.
+ *
+ * Writers emit version 3 by default and version 2 on request.
+ * Readers accept both transparently and reject anything else with an
+ * error naming the found and supported versions.
+ *
+ * Two reader APIs exist:
+ *
+ *  - TraceFileReader / TraceBufferReader return *typed* errors
+ *    (TraceIoStatus) and never terminate the process: corrupt input —
+ *    truncations, flipped bytes, hostile varints — yields a clean
+ *    status the caller can recover from. The persistent trace cache
+ *    uses this to quarantine and regenerate corrupt entries.
+ *
+ *  - TraceFileSource is the TraceSource adapter for simulation
+ *    drivers; it wraps TraceFileReader and keeps the historical
+ *    contract of fatal() on any malformed file.
  */
 
 #ifndef GDIFF_WORKLOAD_TRACE_IO_HH
@@ -23,11 +50,49 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "workload/trace.hh"
 
 namespace gdiff {
 namespace workload {
+
+/// @name trace format versions
+/// @{
+inline constexpr uint32_t traceVersionV2 = 2;
+inline constexpr uint32_t traceVersionV3 = 3;
+/// oldest and newest versions the readers accept
+inline constexpr uint32_t traceVersionMin = traceVersionV2;
+inline constexpr uint32_t traceVersionMax = traceVersionV3;
+/// @}
+
+/** What a trace read attempt concluded. Everything except Ok and End
+ *  is a hard error for the stream. */
+enum class TraceIoStatus
+{
+    Ok,             ///< a chunk was produced
+    End,            ///< clean end of stream (and footer verified, v3)
+    IoError,        ///< open/seek/read failed at the OS level
+    Truncated,      ///< the file ends before the promised data
+    BadMagic,       ///< not a gdiff trace file
+    BadVersion,     ///< version outside [traceVersionMin, max]
+    Corrupt,        ///< structurally invalid block/column/footer
+    DigestMismatch, ///< stored digest does not match the bytes
+};
+
+/** @return a stable lowercase name for @p s (logs, tests). */
+const char *traceIoStatusName(TraceIoStatus s);
+
+/** A status plus a human-readable message for the error cases. */
+struct TraceIoResult
+{
+    TraceIoStatus status = TraceIoStatus::Ok;
+    std::string message;
+
+    bool ok() const { return status == TraceIoStatus::Ok; }
+    bool end() const { return status == TraceIoStatus::End; }
+    bool failed() const { return !ok() && !end(); }
+};
 
 /** Writes TraceRecords to a binary trace file in chunked blocks. */
 class TraceWriter
@@ -36,8 +101,12 @@ class TraceWriter
     /**
      * Open @p path for writing (truncates). Calls fatal() if the
      * file cannot be created.
+     *
+     * @param version on-disk format: traceVersionV3 (default,
+     * stride-delta compressed) or traceVersionV2 (raw columns).
      */
-    explicit TraceWriter(const std::string &path);
+    explicit TraceWriter(const std::string &path,
+                         uint32_t version = traceVersionV3);
     ~TraceWriter();
 
     TraceWriter(const TraceWriter &) = delete;
@@ -49,19 +118,127 @@ class TraceWriter
     /** Append a whole chunk as one block. */
     void append(const TraceChunk &chunk);
 
-    /** Flush, finalise the header, and close. Idempotent. */
+    /** Flush, finalise the header (and v3 footer), close. Idempotent. */
     void close();
 
     /** @return records written so far. */
     uint64_t written() const { return count; }
 
+    /** @return the format version being written. */
+    uint32_t version() const { return ver; }
+
   private:
     /** Write the pending partial block, if any. */
     void flushPending();
 
+    /** Encode and write one block in the selected format. */
+    void writeBlock(const TraceChunk &chunk);
+
     std::FILE *file = nullptr;
+    std::string path;
+    uint32_t ver = traceVersionV3;
     uint64_t count = 0;
+    uint64_t fileDigest = 0; ///< running FNV over v3 block bytes
     std::unique_ptr<TraceChunk> pending;
+    /// reusable encode scratch (payload build + candidate encodings)
+    std::vector<uint8_t> payload, candA, candB, candC, candD;
+};
+
+namespace detail {
+/// decode scratch shared by the readers (heap-allocated: ~100 KiB)
+struct TraceDecodeScratch;
+} // namespace detail
+
+/**
+ * Streaming trace-file reader with typed, recoverable errors.
+ *
+ * Unlike TraceFileSource this never calls fatal(): every malformed
+ * input — wrong magic/version, truncation, corrupt blocks, digest
+ * mismatches — comes back as a TraceIoResult so callers (the
+ * persistent disk cache, the corruption tests) can handle it.
+ */
+class TraceFileReader
+{
+  public:
+    TraceFileReader();
+    ~TraceFileReader();
+
+    TraceFileReader(const TraceFileReader &) = delete;
+    TraceFileReader &operator=(const TraceFileReader &) = delete;
+
+    /**
+     * Open and validate @p path's header.
+     *
+     * @param maxVersion newest format version to accept; readers
+     * from the version-2 era are simulated in tests by passing
+     * traceVersionV2.
+     */
+    TraceIoResult open(const std::string &path,
+                       uint32_t maxVersion = traceVersionMax);
+
+    /**
+     * Read the next block into @p chunk.
+     * @return Ok with records in @p chunk, End at the clean end of
+     * the stream (after footer verification for v3), or an error.
+     */
+    TraceIoResult read(TraceChunk &chunk);
+
+    /** Rewind to the first record. */
+    TraceIoResult rewind();
+
+    /** @return total records the header promises. */
+    uint64_t totalRecords() const { return total; }
+
+    /** @return the file's format version (valid after open()). */
+    uint32_t version() const { return ver; }
+
+  private:
+    std::FILE *file = nullptr;
+    std::string path;
+    uint32_t ver = 0;
+    uint64_t total = 0;
+    uint64_t consumed = 0;
+    uint64_t runningDigest = 0;
+    bool footerVerified = false;
+    std::vector<uint8_t> blockBuf;
+    std::unique_ptr<detail::TraceDecodeScratch> scratch;
+};
+
+/**
+ * Decodes a complete in-memory trace image (e.g. an mmap'd persistent
+ * cache entry) with the same typed-error contract as TraceFileReader.
+ * Non-owning: the span must outlive the reader.
+ */
+class TraceBufferReader
+{
+  public:
+    TraceBufferReader();
+    ~TraceBufferReader();
+
+    TraceBufferReader(const TraceBufferReader &) = delete;
+    TraceBufferReader &operator=(const TraceBufferReader &) = delete;
+
+    /** Validate the header of the @p size bytes at @p data. */
+    TraceIoResult open(const uint8_t *data, size_t size,
+                       uint32_t maxVersion = traceVersionMax);
+
+    /** Read the next block into @p chunk (see TraceFileReader::read). */
+    TraceIoResult read(TraceChunk &chunk);
+
+    /** @return total records the header promises. */
+    uint64_t totalRecords() const { return total; }
+
+    /** @return the image's format version (valid after open()). */
+    uint32_t version() const { return ver; }
+
+  private:
+    const uint8_t *cursor = nullptr;
+    const uint8_t *end = nullptr;
+    uint32_t ver = 0;
+    uint64_t total = 0;
+    uint64_t consumed = 0;
+    uint64_t runningDigest = 0;
+    std::unique_ptr<detail::TraceDecodeScratch> scratch;
 };
 
 /**
@@ -85,16 +262,14 @@ class TraceFileSource : public TraceSource
     bool fill(TraceChunk &chunk) override;
 
     /** @return total records the header promises. */
-    uint64_t totalRecords() const { return total; }
+    uint64_t totalRecords() const { return reader.totalRecords(); }
 
     /** Rewind to the first record (for multi-pass experiments). */
     void rewind();
 
   private:
-    std::FILE *file = nullptr;
+    TraceFileReader reader;
     std::string path;
-    uint64_t total = 0;
-    uint64_t consumed = 0;
 };
 
 } // namespace workload

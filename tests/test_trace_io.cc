@@ -8,7 +8,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include <unistd.h>
 
@@ -137,6 +139,83 @@ TEST(TraceIoDeath, MissingFileIsFatal)
 {
     EXPECT_EXIT(TraceFileSource src("/nonexistent/nope.bin"),
                 ::testing::ExitedWithCode(1), "cannot open");
+}
+
+// ------------------------------------------------- version matrix
+//
+// Writers emit v2 or v3; readers are simulated at both eras via the
+// maxVersion parameter. Every cell of the matrix must either accept
+// transparently or reject with an error naming both the found and
+// the supported versions.
+
+std::string
+writeSmallTrace(const char *tag, uint32_t version)
+{
+    std::string path = tempPath(tag);
+    Workload w = makeWorkload("bzip2", 1);
+    auto exec = w.makeExecutor();
+    TraceWriter writer(path, version);
+    TraceRecord r;
+    for (int i = 0; i < 500 && exec->next(r); ++i)
+        writer.append(r);
+    writer.close();
+    return path;
+}
+
+TEST(TraceIoVersionMatrix, V2ReaderRejectsV3FileNamingBothVersions)
+{
+    std::string path = writeSmallTrace("v2rdr_v3file", traceVersionV3);
+    TraceFileReader reader;
+    TraceIoResult res = reader.open(path, traceVersionV2);
+    EXPECT_EQ(res.status, TraceIoStatus::BadVersion);
+    // The error must name what was found and what would have worked.
+    EXPECT_NE(res.message.find("version 3"), std::string::npos)
+        << res.message;
+    EXPECT_NE(res.message.find("2"), std::string::npos) << res.message;
+    std::remove(path.c_str());
+}
+
+TEST(TraceIoVersionMatrix, V3ReaderAcceptsV2FileTransparently)
+{
+    std::string v2 = writeSmallTrace("matrix_v2", traceVersionV2);
+    std::string v3 = writeSmallTrace("matrix_v3", traceVersionV3);
+
+    auto drain = [](const std::string &path) {
+        TraceFileReader reader;
+        TraceIoResult res = reader.open(path);
+        EXPECT_TRUE(res.ok()) << res.message;
+        std::vector<TraceRecord> records;
+        auto chunk = std::make_unique<TraceChunk>();
+        while ((res = reader.read(*chunk)).ok())
+            for (uint32_t i = 0; i < chunk->size; ++i)
+                records.push_back(chunk->record(i));
+        EXPECT_TRUE(res.end()) << res.message;
+        return records;
+    };
+
+    auto a = drain(v2);
+    auto b = drain(v3);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].seq, b[i].seq);
+        EXPECT_EQ(a[i].pc, b[i].pc);
+        EXPECT_EQ(a[i].value, b[i].value);
+        EXPECT_EQ(a[i].effAddr, b[i].effAddr);
+    }
+    std::remove(v2.c_str());
+    std::remove(v3.c_str());
+}
+
+TEST(TraceIoVersionMatrix, EachEraReaderAcceptsItsOwnFormat)
+{
+    for (uint32_t ver : {traceVersionV2, traceVersionV3}) {
+        std::string path = writeSmallTrace("matrix_own", ver);
+        TraceFileReader reader;
+        TraceIoResult res = reader.open(path, ver);
+        EXPECT_TRUE(res.ok()) << "v" << ver << ": " << res.message;
+        EXPECT_EQ(reader.version(), ver);
+        std::remove(path.c_str());
+    }
 }
 
 TEST(TraceIoDeath, WrongVersionIsFatal)
