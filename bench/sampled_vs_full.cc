@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Sampled-vs-full simulation harness: how much wall clock does the
+ * stratified sampler (src/sample/) save over a full pipeline run, and
+ * does its confidence interval actually cover the full run's IPC?
+ *
+ * For each kernel the harness materializes the trace once (so neither
+ * side pays generation), times one full baseline pipeline run, times
+ * one sampled run of the same spec at a small budget, and reports:
+ *
+ *   full IPC / sampled IPC     the two point estimates
+ *   ci_lo / ci_hi              the sampled 95% interval
+ *   full s / sampled s         wall seconds, trace already resident
+ *   speedup                    full s / sampled s
+ *   cover                      full IPC inside the 1.5x-widened
+ *                              interval (the same bias check the slow
+ *                              test battery applies: nominal-level
+ *                              misses are sampling noise, many-sigma
+ *                              misses are bugs)
+ *
+ * Gates (scripts/check.sh and CI):
+ *   --require-speedup=F   every kernel's speedup must reach F.
+ *   --require-ci          every kernel's full-run IPC must fall in
+ *                         the widened sampled interval.
+ * Extra knobs:
+ *   --budget=N            sampled record budget (default
+ *                         max(instructions/100, 4 windows)).
+ *   --sample-threads=N    workers for window measurement (default 1,
+ *                         so the gated speedup is pure work
+ *                         reduction, not parallelism).
+ *   --reps=N              timing repetitions per side; the fastest
+ *                         rep counts (default 2 — one-shot wall
+ *                         clock is too noisy for a hard gate).
+ * With --json=FILE the numbers are written as one JSON document
+ * (uploaded from CI as BENCH_sampled.json).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "runner/runner.hh"
+#include "sample/sample.hh"
+#include "stats/table.hh"
+#include "workload/trace_cache.hh"
+
+using namespace gdiff;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+const std::vector<std::string> kKernels = {"mcf", "gzip"};
+
+constexpr uint64_t kWindow = 4096;
+
+double
+seconds(Clock::time_point t0)
+{
+    return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    double requireSpeedup = 0.0;
+    bool requireCi = false;
+    uint64_t budgetFlag = 0;
+    unsigned sampleThreads = 1;
+    int reps = 2;
+    std::string jsonPath;
+    std::vector<char *> rest = {argv[0]};
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--require-speedup=", 18) == 0)
+            requireSpeedup = std::atof(argv[i] + 18);
+        else if (std::strcmp(argv[i], "--require-ci") == 0)
+            requireCi = true;
+        else if (std::strncmp(argv[i], "--budget=", 9) == 0)
+            budgetFlag = std::strtoull(argv[i] + 9, nullptr, 10);
+        else if (std::strncmp(argv[i], "--sample-threads=", 17) == 0)
+            sampleThreads = static_cast<unsigned>(
+                std::strtoul(argv[i] + 17, nullptr, 10));
+        else if (std::strncmp(argv[i], "--reps=", 7) == 0)
+            reps = std::max(1, std::atoi(argv[i] + 7));
+        else if (std::strncmp(argv[i], "--json=", 7) == 0)
+            jsonPath = argv[i] + 7;
+        else
+            rest.push_back(argv[i]);
+    }
+    bench::BenchOptions o = bench::BenchOptions::parse(
+        static_cast<int>(rest.size()), rest.data());
+
+    const uint64_t budget =
+        budgetFlag ? budgetFlag
+                   : std::max<uint64_t>(o.instructions / 100,
+                                        4 * kWindow);
+
+    bench::banner("sampled vs full simulation",
+                  "stratified sampling speedup and interval coverage "
+                  "(baseline pipeline)",
+                  o);
+    std::printf("sampled budget: %llu records (%llu-record windows, "
+                "%u measurement threads)\n\n",
+                static_cast<unsigned long long>(budget),
+                static_cast<unsigned long long>(kWindow),
+                sampleThreads == 0 ? 1 : sampleThreads);
+
+    stats::Table t("sampled vs full (baseline pipeline)", "kernel");
+    t.addColumn("full IPC");
+    t.addColumn("sampled IPC");
+    t.addColumn("ci_lo");
+    t.addColumn("ci_hi");
+    t.addColumn("full s");
+    t.addColumn("sampled s");
+    t.addColumn("speedup");
+    t.addColumn("cover");
+
+    workload::TraceCache cache;
+    double minSpeedup = -1.0;
+    bool allCovered = true;
+    std::string jsonKernels;
+
+    for (const auto &name : kKernels) {
+        runner::JobSpec spec;
+        spec.mode = runner::JobMode::Pipeline;
+        spec.workload = name;
+        spec.scheme = "baseline";
+        spec.order = 32;
+        spec.tableEntries = 8192;
+        spec.seed = o.seed;
+        spec.instructions = o.instructions;
+        spec.warmup = o.warmup;
+
+        // Materialize the shared trace outside both timed sections:
+        // the comparison is simulation cost, not kernel execution.
+        cache.acquire(name, spec.seed,
+                      spec.warmup + spec.instructions);
+
+        runner::JobSpec sampled = spec;
+        sampled.sampleBudget = budget;
+        sampled.sampleWindow = kWindow;
+        sampled.sampleSeed = 1;
+
+        // Fastest of `reps` runs per side: both runs are
+        // deterministic, so reps only strip scheduler noise from the
+        // wall-clock ratio the gate divides.
+        runner::JobResult full, sr;
+        double fullSec = -1.0, sampledSec = -1.0;
+        for (int rep = 0; rep < reps; ++rep) {
+            Clock::time_point t0 = Clock::now();
+            full = runner::runJob(spec, &cache);
+            double s = seconds(t0);
+            if (fullSec < 0 || s < fullSec)
+                fullSec = s;
+            t0 = Clock::now();
+            sr = sample::runSampledJob(sampled, &cache,
+                                       sampleThreads);
+            s = seconds(t0);
+            if (sampledSec < 0 || s < sampledSec)
+                sampledSec = s;
+        }
+
+        double fullIpc = full.metric("ipc");
+        double ipc = sr.metric("ipc");
+        double ciLo = sr.metric("ipc_ci_lo");
+        double ciHi = sr.metric("ipc_ci_hi");
+        // Same 1.5x widening as the slow statistical battery: this
+        // is a bias alarm, not a calibration check (the coverage
+        // battery owns calibration), so nominal-level misses must
+        // not fail a deterministic gate.
+        double wideLo = ipc - 1.5 * (ipc - ciLo);
+        double wideHi = ipc + 1.5 * (ciHi - ipc);
+        bool covered = wideLo <= fullIpc && fullIpc <= wideHi;
+        double speedup = sampledSec > 0 ? fullSec / sampledSec : 0.0;
+
+        if (minSpeedup < 0 || speedup < minSpeedup)
+            minSpeedup = speedup;
+        allCovered = allCovered && covered;
+
+        t.beginRow(name);
+        t.cellDouble(fullIpc, 4);
+        t.cellDouble(ipc, 4);
+        t.cellDouble(ciLo, 4);
+        t.cellDouble(ciHi, 4);
+        t.cellDouble(fullSec, 3);
+        t.cellDouble(sampledSec, 3);
+        t.cellDouble(speedup, 2);
+        t.cellDouble(covered ? 1 : 0, 0);
+
+        char row[512];
+        std::snprintf(
+            row, sizeof(row),
+            "%s\"%s\":{\"full_ipc\":%.6f,\"sampled_ipc\":%.6f,"
+            "\"ci_lo\":%.6f,\"ci_hi\":%.6f,"
+            "\"windows\":%g,\"strata\":%g,"
+            "\"full_sec\":%.4f,\"sampled_sec\":%.4f,"
+            "\"speedup\":%.3f,\"covered\":%s}",
+            jsonKernels.empty() ? "" : ",", name.c_str(), fullIpc,
+            ipc, ciLo, ciHi, sr.metric("sample_windows"),
+            sr.metric("sample_strata"), fullSec, sampledSec, speedup,
+            covered ? "true" : "false");
+        jsonKernels += row;
+    }
+    bench::emit(t, o);
+
+    std::printf("min speedup: %.2fx; widened-interval coverage: %s\n",
+                minSpeedup, allCovered ? "all kernels" : "MISSED");
+
+    if (!jsonPath.empty()) {
+        std::FILE *jf = std::fopen(jsonPath.c_str(), "wb");
+        if (!jf) {
+            std::fprintf(stderr, "cannot create JSON file '%s'\n",
+                         jsonPath.c_str());
+            return 1;
+        }
+        std::fprintf(jf,
+                     "{\"bench\":\"sampled_vs_full\","
+                     "\"instructions\":%llu,\"warmup\":%llu,"
+                     "\"budget\":%llu,\"window\":%llu,"
+                     "\"sample_threads\":%u,\"kernels\":{%s},"
+                     "\"min_speedup\":%.3f,\"all_covered\":%s}\n",
+                     static_cast<unsigned long long>(o.instructions),
+                     static_cast<unsigned long long>(o.warmup),
+                     static_cast<unsigned long long>(budget),
+                     static_cast<unsigned long long>(kWindow),
+                     sampleThreads == 0 ? 1 : sampleThreads,
+                     jsonKernels.c_str(), minSpeedup,
+                     allCovered ? "true" : "false");
+        std::fclose(jf);
+    }
+
+    bool gateFail = false;
+    if (requireSpeedup > 0 && minSpeedup < requireSpeedup) {
+        std::fprintf(stderr,
+                     "FAIL: sampled speedup %.2fx below required "
+                     "%.2fx\n",
+                     minSpeedup, requireSpeedup);
+        gateFail = true;
+    }
+    if (requireCi && !allCovered) {
+        std::fprintf(stderr,
+                     "FAIL: a full-run IPC fell outside the widened "
+                     "sampled interval (see table)\n");
+        gateFail = true;
+    }
+    return gateFail ? 1 : 0;
+}

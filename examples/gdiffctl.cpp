@@ -50,6 +50,12 @@ usage(const char *argv0)
         "job\n"
         "  --warmup=N             override warmup instructions per "
         "job\n"
+        "  --sample-budget=N      sampled simulation: timing-simulate\n"
+        "                         only N measured records per job "
+        "(95%% CIs)\n"
+        "  --sample-windows=N     records per measured window "
+        "(default 4096)\n"
+        "  --sample-seed=N        window-selection seed (default 1)\n"
         "  --client=NAME          client name for fairness/obs "
         "attribution\n"
         "  --out=FILE             JSON-lines results\n"
@@ -144,6 +150,15 @@ main(int argc, char **argv)
                                             v.c_str());
         } else if (take("--warmup", v)) {
             req.warmup = parseU64Flag("--warmup", v.c_str(), true);
+        } else if (take("--sample-budget", v)) {
+            req.sampleBudget =
+                parseU64Flag("--sample-budget", v.c_str(), true);
+        } else if (take("--sample-windows", v)) {
+            req.sampleWindow =
+                parseU64Flag("--sample-windows", v.c_str());
+        } else if (take("--sample-seed", v)) {
+            req.sampleSeed =
+                parseU64Flag("--sample-seed", v.c_str(), true);
         } else if (a == "--no-table") {
             noTable = true;
         } else if (a == "--deterministic") {

@@ -31,6 +31,7 @@
 #include "obs/trace_export.hh"
 #include "runner/factory.hh"
 #include "runner/runner.hh"
+#include "sample/sample.hh"
 #include "util/logging.hh"
 #include "util/parse.hh"
 #include "workload/trace_cache.hh"
@@ -49,6 +50,9 @@ struct Options
     unsigned threads = 0; // 0 = hardware concurrency
     uint64_t instructions = 1'000'000;
     uint64_t warmup = 100'000;
+    uint64_t sampleBudget = 0; // 0 = full-trace simulation
+    uint64_t sampleWindow = 4096;
+    uint64_t sampleSeed = 1;
     bool instructionsSet = false;
     bool noTable = false;
     bool useTraceCache = true;
@@ -96,6 +100,13 @@ usage(const char *argv0)
         "(default 1000000)\n"
         "  --warmup=N       warmup instructions per job "
         "(default 100000)\n"
+        "  --sample-budget=N  sampled simulation: timing-simulate only\n"
+        "                   N of the measured records, spread over\n"
+        "                   stratified windows; results carry 95%% CIs\n"
+        "                   (*_ci_lo/*_ci_hi columns)\n"
+        "  --sample-windows=N  records per measured window "
+        "(default 4096)\n"
+        "  --sample-seed=N  window-selection seed (default 1)\n"
         "  --no-table       suppress the human-readable table\n"
         "  --deterministic  strip timing metadata from --out lines so\n"
         "                   runs can be compared with sort + cmp\n"
@@ -171,6 +182,15 @@ parse(int argc, char **argv)
             o.instructionsSet = true;
         } else if (take("--warmup", v)) {
             o.warmup = parseU64Flag("--warmup", v.c_str(), true);
+        } else if (take("--sample-budget", v)) {
+            o.sampleBudget =
+                parseU64Flag("--sample-budget", v.c_str(), true);
+        } else if (take("--sample-windows", v)) {
+            o.sampleWindow =
+                parseU64Flag("--sample-windows", v.c_str());
+        } else if (take("--sample-seed", v)) {
+            o.sampleSeed =
+                parseU64Flag("--sample-seed", v.c_str(), true);
         } else if (take("--trace-cache-mb", v)) {
             o.traceCacheBytes =
                 static_cast<size_t>(
@@ -230,11 +250,16 @@ main(int argc, char **argv)
         std::fclose(probe);
     }
 
+    sample::install();
+
     runner::SweepSpec spec = runner::SweepSpec::parseGrid(o.grid);
     spec.defaultInstructions = o.instructions;
     if (o.instructionsSet)
         spec.instructionWindows.clear(); // CLI flag overrides the axis
     spec.warmup = o.warmup;
+    spec.sampleBudget = o.sampleBudget;
+    spec.sampleWindow = o.sampleWindow;
+    spec.sampleSeed = o.sampleSeed;
 
     runner::SweepRunner sweep(spec);
 

@@ -121,4 +121,12 @@ wait "$DAEMON" || { echo "serving smoke: daemon drain failed"; exit 1; }
 # percentiles from the obs histograms.
 ./build/bench/serve_load --clients=4 --instructions=200000 \
     --warmup=20000 --json=build/BENCH_serve.json
+# Sampled-simulation gate: on both kernels the stratified sampler
+# must cut wall clock >= 10x against a full run of the same spec,
+# and the full run's IPC must land inside the (1.5x-widened) sampled
+# confidence interval — speed that buys a wrong answer fails here.
+./build/bench/sampled_vs_full --instructions=8000000 \
+    --warmup=400000 --budget=40960 --sample-threads=4 \
+    --require-speedup=10 --require-ci \
+    --json=build/BENCH_sampled.json
 echo "all checks passed"

@@ -72,7 +72,8 @@ OooPipeline::allocateIssueSlot(uint64_t earliest)
 
 PipelineStats
 OooPipeline::run(workload::TraceSource &src, uint64_t max_instructions,
-                 uint64_t warmup)
+                 uint64_t warmup, bool measureFromRetire,
+                 uint64_t functionalWarmup)
 {
     if (max_instructions == 0) {
         fatal("pipeline run length is 0 instructions: nothing would "
@@ -100,7 +101,7 @@ OooPipeline::run(workload::TraceSource &src, uint64_t max_instructions,
     uint64_t measured = 0;
     uint64_t first_measured_cycle = 0;
     uint64_t last_cycle = 0;
-    uint64_t budget = warmup + max_instructions;
+    uint64_t budget = functionalWarmup + warmup + max_instructions;
 
     // ---- invariant checker (cfg.check.enabled): a second set of
     // books, kept with independent structures and cross-checked
@@ -141,8 +142,33 @@ OooPipeline::run(workload::TraceSource &src, uint64_t max_instructions,
       uint32_t chunk_n = static_cast<uint32_t>(
           std::min<uint64_t>(chunk->size, budget - seq));
       for (uint32_t ci = 0; ci < chunk_n; ++ci) {
+        // ---- functional-warmup phase: persistent state (caches,
+        // branch predictor, VP tables) trains in program order with
+        // no cycle modelling. Timing state is untouched, so the
+        // timed phase below starts from cycle zero as usual.
+        if (seq < functionalWarmup) {
+            uint64_t fline = chunk->pc[ci] >> 6;
+            if (fline != last_fetch_line) {
+                last_fetch_line = fline;
+                icache.access(chunk->pc[ci]);
+            }
+            if (chunk->producesValue(ci)) {
+                // Program-order training; the completion-order
+                // subtleties of the timed path only matter for delay
+                // measurement, not table state.
+                VpDecision d = scheme.predictAtDispatch(chunk->pc[ci]);
+                scheme.writeback(chunk->pc[ci], d, chunk->value[ci]);
+            }
+            if (chunk->isLoad(ci) || chunk->isStore(ci))
+                dcache.access(chunk->effAddr[ci]);
+            if (chunk->isControl(ci) || chunk->isCondBranch(ci))
+                bpred.predictAndTrain(chunk->record(ci));
+            ++seq;
+            continue;
+        }
+
         const workload::TraceRecord r = chunk->record(ci);
-        bool measure = seq >= warmup;
+        bool measure = seq >= functionalWarmup + warmup;
 
         // ---- front end ------------------------------------------------
         uint64_t line = r.pc >> 6;
@@ -376,7 +402,9 @@ OooPipeline::run(workload::TraceSource &src, uint64_t max_instructions,
         // ---- statistics ------------------------------------------------------
         if (measure) {
             if (measured == 0)
-                first_measured_cycle = dispatch_cycle;
+                first_measured_cycle =
+                    measureFromRetire && warmup > 0 ? last_cycle
+                                                    : dispatch_cycle;
             ++measured;
             if (r.isLoad() && dmiss) {
                 stats.missLoadCoverage.record(decision.confident);

@@ -95,11 +95,33 @@ class OooPipeline
      * @param max_instructions measured instructions.
      * @param warmup instructions executed before measurement starts
      *               (caches/predictors train; stats not recorded).
+     * @param measureFromRetire count measured cycles from the retire
+     *               watermark of the last warmup instruction instead
+     *               of the first measured instruction's dispatch
+     *               cycle. The default charges the window the full
+     *               dispatch-to-retire latency of its first
+     *               instruction — negligible over a long run but a
+     *               fixed ~ROB-drain overcount for the short windows
+     *               of sampled simulation, whose cycle counts must
+     *               tile: summed retire-to-retire windows telescope
+     *               to the continuous run's total. No effect when
+     *               warmup is 0.
+     * @param functionalWarmup records consumed *before* the detailed
+     *               warmup with no cycle modelling at all: caches,
+     *               the branch predictor, and the VP scheme's tables
+     *               train in program order at a fraction of a timed
+     *               record's cost. This is the long-history half of
+     *               SMARTS-style warming for sampled windows
+     *               (src/sample/): structures like a large D-cache
+     *               converge over tens of thousands of records, far
+     *               more than detailed warmup can affordably replay.
      * @return the collected statistics.
      */
     PipelineStats run(workload::TraceSource &src,
                       uint64_t max_instructions,
-                      uint64_t warmup = 0);
+                      uint64_t warmup = 0,
+                      bool measureFromRetire = false,
+                      uint64_t functionalWarmup = 0);
 
   private:
     struct PendingWriteback

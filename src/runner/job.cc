@@ -52,6 +52,27 @@ JobSpec::validateOr(std::string *error) const
            << ")";
         return fail(os.str());
     }
+    if (sampleBudget != 0) {
+        if (sampleWindow == 0) {
+            return fail("job " + label() +
+                        ": sample window length must be > 0");
+        }
+        if (sampleWindow > instructions) {
+            std::ostringstream os;
+            os << "job " << label() << ": sample window ("
+               << sampleWindow
+               << " records) is longer than the measured region ("
+               << instructions << " records)";
+            return fail(os.str());
+        }
+        if (sampleBudget < sampleWindow) {
+            std::ostringstream os;
+            os << "job " << label() << ": sample budget ("
+               << sampleBudget << ") fits zero windows of "
+               << sampleWindow << " records";
+            return fail(os.str());
+        }
+    }
     return true;
 }
 
@@ -67,6 +88,14 @@ JobSpec::key() const
     os << " order=" << order << " table=" << tableEntries
        << " seed=" << seed << " instructions=" << instructions
        << " warmup=" << warmup;
+    // Sampling changes what a job computes, so it is part of the
+    // identity — but only when on, keeping every pre-sampling
+    // manifest and result file joinable.
+    if (sampleBudget != 0) {
+        os << " sample_budget=" << sampleBudget
+           << " sample_window=" << sampleWindow
+           << " sample_seed=" << sampleSeed;
+    }
     return os.str();
 }
 

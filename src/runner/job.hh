@@ -53,10 +53,28 @@ struct JobSpec
     uint64_t instructions = 1'000'000; ///< measured instructions
     uint64_t warmup = 100'000;         ///< warmup instructions
 
+    /// @name Sampled-simulation knobs (src/sample/)
+    /// With sampleBudget == 0 (the default) the job is a classic
+    /// full-trace run and the remaining fields are ignored. With a
+    /// budget, only sampleBudget of the `instructions` measured
+    /// records are timing-simulated, spread over windows of
+    /// sampleWindow records each; the result carries 95% CIs.
+    /// @{
+    uint64_t sampleBudget = 0;    ///< measured records across windows
+    uint64_t sampleWindow = 4096; ///< records per measured window
+    uint64_t sampleSeed = 1;      ///< window-selection seed
+    /// @}
+
+    /** @return true when this spec requests sampled simulation. */
+    bool sampled() const { return sampleBudget != 0; }
+
     /**
      * Reject run lengths that would measure nothing: instructions ==
-     * 0 or warmup >= instructions. Calls fatal() naming the job.
-     * runJob() validates every spec before executing it.
+     * 0 or warmup >= instructions — and, when sampling, degenerate
+     * window geometry (zero-length windows, a window longer than the
+     * measured region, a budget too small for even one window).
+     * Calls fatal() naming the job. runJob() validates every spec
+     * before executing it.
      */
     void validate() const;
 

@@ -111,12 +111,30 @@ runPipelineJob(const JobSpec &spec, workload::TraceSource &src)
     return r;
 }
 
+SampledJobRunner sampledRunner = nullptr;
+
 } // anonymous namespace
 
+void
+setSampledJobRunner(SampledJobRunner fn)
+{
+    sampledRunner = fn;
+}
+
 JobResult
-runJob(const JobSpec &spec, workload::TraceCache *cache)
+runJob(const JobSpec &spec, workload::TraceCache *cache,
+       unsigned sampleThreads)
 {
     spec.validate();
+    if (spec.sampled()) {
+        if (!sampledRunner) {
+            fatal("job %s has a sample budget but no sampled runner "
+                  "is installed (call sample::install() at startup)",
+                  spec.label().c_str());
+        }
+        return sampledRunner(spec, cache,
+                             sampleThreads == 0 ? 1 : sampleThreads);
+    }
     auto t0 = std::chrono::steady_clock::now();
 
     // Jobs run whole on one thread, so this thread's timer totals
@@ -239,6 +257,12 @@ SweepRunner::run(const SweepOptions &options)
     std::mutex sinkLock;
     std::atomic<size_t> canceled{0};
     ThreadPool pool(options.threads);
+    // Sampled jobs can parallelize their measured windows internally.
+    // Give them the pool only when the sweep has nothing else to fill
+    // it with — jobs and windows contending for the same cores would
+    // oversubscribe without speeding anything up.
+    unsigned windowThreads =
+        todo.size() == 1 ? pool.threads() : 1;
     pool.forEach(todo.size(), [&](size_t t) {
         // Cancellation is checked at dispatch only: a job that
         // already started always finishes and reaches the sinks, so
@@ -254,7 +278,7 @@ SweepRunner::run(const SweepOptions &options)
         // serialises.
         uint64_t jobStart = obsOn ? obs::nowNs() : 0;
         JobRecord rec{index, jobList[index],
-                      runJob(jobList[index], cache)};
+                      runJob(jobList[index], cache, windowThreads)};
         if (obsOn) {
             // One span per job on the worker's own track, annotated
             // with the job identity and how the trace cache served it.

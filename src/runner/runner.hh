@@ -67,6 +67,21 @@ class ThreadPool
 };
 
 /**
+ * The sampled-simulation entry point src/sample/ installs. A function
+ * pointer (not a link dependency) keeps the layering acyclic: sample
+ * depends on runner for jobs and the pool; runner only needs to
+ * dispatch specs with a sample budget to *someone*. Binaries that
+ * accept sampled specs call sample::install() at startup; runJob()
+ * fatals with that instruction if a sampled spec arrives uninstalled.
+ */
+using SampledJobRunner = JobResult (*)(const JobSpec &spec,
+                                       workload::TraceCache *cache,
+                                       unsigned threads);
+
+/** Register (or, with nullptr, clear) the sampled-job runner. */
+void setSampledJobRunner(SampledJobRunner fn);
+
+/**
  * Execute one job in an isolated simulation context.
  *
  * With @p cache, the job's dynamic stream is resolved through the
@@ -74,9 +89,15 @@ class ThreadPool
  * triple materializes the trace, later jobs replay it read-only.
  * Metrics are bit-identical either way; only the wall-time metadata
  * differs. Without a cache the job regenerates its stream.
+ *
+ * A spec with a sample budget dispatches to the installed
+ * SampledJobRunner; @p sampleThreads is how many workers it may use
+ * for its measured windows (metrics are thread-count-invariant, so
+ * this is purely a wall-clock knob). Full-trace jobs ignore it.
  */
 JobResult runJob(const JobSpec &spec,
-                 workload::TraceCache *cache = nullptr);
+                 workload::TraceCache *cache = nullptr,
+                 unsigned sampleThreads = 1);
 
 /** Knobs for SweepRunner::run. */
 struct SweepOptions

@@ -79,6 +79,9 @@ SweepSpec::expand() const
                             j.seed = s;
                             j.instructions = insts;
                             j.warmup = warmup;
+                            j.sampleBudget = sampleBudget;
+                            j.sampleWindow = sampleWindow;
+                            j.sampleSeed = sampleSeed;
                             jobs.push_back(std::move(j));
                         }
     return jobs;

@@ -50,6 +50,14 @@ struct SweepSpec
     uint64_t defaultInstructions = 1'000'000;
     uint64_t warmup = 100'000;
 
+    /// @name sampled-simulation knobs applied to every expanded job
+    /// (single-valued, like warmup — see JobSpec); budget 0 = off
+    /// @{
+    uint64_t sampleBudget = 0;
+    uint64_t sampleWindow = 4096;
+    uint64_t sampleSeed = 1;
+    /// @}
+
     /** @return number of jobs expand() will produce. */
     size_t jobCount() const;
 

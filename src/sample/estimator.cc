@@ -1,0 +1,215 @@
+#include "sample/estimator.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace gdiff {
+namespace sample {
+
+double
+tQuantile975(uint64_t df)
+{
+    // (df, t_{0.975,df}) knots; linear in 1/df between them, which
+    // tracks the true quantile to ~0.5% — plenty for interval sizing.
+    static constexpr struct { double df, t; } knots[] = {
+        {1, 12.706}, {2, 4.303},  {3, 3.182},  {4, 2.776},
+        {5, 2.571},  {6, 2.447},  {7, 2.365},  {8, 2.306},
+        {9, 2.262},  {10, 2.228}, {12, 2.179}, {15, 2.131},
+        {20, 2.086}, {30, 2.042}, {60, 2.000}, {120, 1.980},
+    };
+    if (df < 1)
+        df = 1;
+    double d = static_cast<double>(df);
+    if (d >= 240.0)
+        return kZ95;
+    const size_t n = std::size(knots);
+    if (d >= knots[n - 1].df) {
+        // Interpolate toward the normal quantile at 1/df -> 0.
+        double f = (1.0 / d) / (1.0 / knots[n - 1].df);
+        return kZ95 + f * (knots[n - 1].t - kZ95);
+    }
+    for (size_t i = 1; i < n; ++i) {
+        if (d <= knots[i].df) {
+            double x0 = 1.0 / knots[i - 1].df, x1 = 1.0 / knots[i].df;
+            double f = (1.0 / d - x0) / (x1 - x0);
+            return knots[i - 1].t + f * (knots[i].t - knots[i - 1].t);
+        }
+    }
+    return kZ95; // unreachable
+}
+
+MetricEstimate
+stratifiedEstimate(const std::vector<StratumSamples> &strata, double z)
+{
+    GDIFF_ASSERT(!strata.empty(), "stratified estimate over no strata");
+
+    double totalWeight = 0.0;
+    for (const auto &h : strata)
+        totalWeight += h.weight;
+    GDIFF_ASSERT(totalWeight > 0.0,
+                 "stratified estimate with zero total weight");
+
+    double mean = 0.0;
+    double var = 0.0;
+    for (size_t i = 0; i < strata.size(); ++i) {
+        const StratumSamples &h = strata[i];
+        GDIFF_ASSERT(h.population >= 1,
+                     "stratum %zu has an empty population", i);
+        GDIFF_ASSERT(h.weight > 0.0, "stratum %zu has zero weight", i);
+        GDIFF_ASSERT(!h.values.empty(),
+                     "stratum %zu has no measured windows", i);
+        GDIFF_ASSERT(h.values.size() == h.weights.size(),
+                     "stratum %zu: %zu values vs %zu weights", i,
+                     h.values.size(), h.weights.size());
+        double n = static_cast<double>(h.values.size());
+        GDIFF_ASSERT(h.values.size() <= h.population,
+                     "stratum %zu measured more windows than exist", i);
+
+        double wsum = 0.0, wxsum = 0.0;
+        for (size_t j = 0; j < h.values.size(); ++j) {
+            GDIFF_ASSERT(h.weights[j] > 0.0,
+                         "stratum %zu window %zu has zero weight", i, j);
+            wsum += h.weights[j];
+            wxsum += h.weights[j] * h.values[j];
+        }
+        double xbar = wxsum / wsum;
+
+        // Sample variance of the window values around the stratum
+        // mean; a single measured window contributes zero (unknowable
+        // spread — this is where intervals can understate).
+        double s2 = 0.0;
+        if (h.values.size() > 1) {
+            for (double x : h.values)
+                s2 += (x - xbar) * (x - xbar);
+            s2 /= n - 1.0;
+        }
+
+        double share = h.weight / totalWeight;
+        double fpc = std::max(
+            0.0, 1.0 - n / static_cast<double>(h.population));
+        mean += share * xbar;
+        var += share * share * fpc * s2 / n;
+    }
+
+    MetricEstimate e;
+    e.mean = mean;
+    e.stdError = std::sqrt(std::max(0.0, var));
+    e.ciLo = mean - z * e.stdError;
+    e.ciHi = mean + z * e.stdError;
+    return e;
+}
+
+MetricEstimate
+invertEstimate(const MetricEstimate &e)
+{
+    GDIFF_ASSERT(e.mean > 0.0 && e.ciLo > 0.0,
+                 "inverting a non-positive estimate (mean %f, lo %f): "
+                 "the sample budget is far too small",
+                 e.mean, e.ciLo);
+    MetricEstimate out;
+    out.mean = 1.0 / e.mean;
+    out.stdError = e.stdError / (e.mean * e.mean);
+    // 1/x is decreasing, so the endpoints swap.
+    out.ciLo = 1.0 / e.ciHi;
+    out.ciHi = 1.0 / e.ciLo;
+    return out;
+}
+
+MetricEstimate
+ratioEstimate(const MetricEstimate &num, const MetricEstimate &den,
+              double z)
+{
+    GDIFF_ASSERT(num.mean > 0.0 && den.mean > 0.0,
+                 "ratio of non-positive estimates (%f / %f)", num.mean,
+                 den.mean);
+    MetricEstimate out;
+    out.mean = num.mean / den.mean;
+    double relNum = num.stdError / num.mean;
+    double relDen = den.stdError / den.mean;
+    out.stdError =
+        out.mean * std::sqrt(relNum * relNum + relDen * relDen);
+    out.ciLo = out.mean - z * out.stdError;
+    out.ciHi = out.mean + z * out.stdError;
+    return out;
+}
+
+std::vector<uint64_t>
+neymanAllocate(const std::vector<double> &spread,
+               const std::vector<uint64_t> &already,
+               const std::vector<uint64_t> &capacity, uint64_t extra)
+{
+    size_t n = spread.size();
+    GDIFF_ASSERT(already.size() == n && capacity.size() == n,
+                 "neymanAllocate: mismatched stratum vectors "
+                 "(%zu/%zu/%zu)",
+                 n, already.size(), capacity.size());
+    std::vector<uint64_t> give(n, 0);
+    if (extra == 0 || n == 0)
+        return give;
+
+    std::vector<uint64_t> room(n, 0);
+    for (size_t h = 0; h < n; ++h) {
+        GDIFF_ASSERT(already[h] <= capacity[h],
+                     "stratum %zu over-measured (%llu of %llu)", h,
+                     static_cast<unsigned long long>(already[h]),
+                     static_cast<unsigned long long>(capacity[h]));
+        room[h] = capacity[h] - already[h];
+    }
+
+    // A pilot that saw zero variance everywhere gives Neyman nothing
+    // to weight by; fall back to spreading proportionally to stratum
+    // size so coverage still scales with the budget.
+    double total = 0.0;
+    for (double s : spread) {
+        GDIFF_ASSERT(s >= 0.0, "negative spread");
+        total += s;
+    }
+    std::vector<double> w = spread;
+    if (total <= 0.0) {
+        total = 0.0;
+        for (size_t h = 0; h < n; ++h) {
+            w[h] = static_cast<double>(capacity[h]);
+            total += w[h];
+        }
+        if (total <= 0.0)
+            return give;
+    }
+
+    // Floor of each ideal share (clamped to room), then hand out the
+    // remainder one window at a time to the stratum furthest below
+    // its ideal — deterministic, ties to the lowest index.
+    std::vector<double> ideal(n, 0.0);
+    uint64_t spent = 0;
+    for (size_t h = 0; h < n; ++h) {
+        ideal[h] = static_cast<double>(extra) * w[h] / total;
+        give[h] = std::min(static_cast<uint64_t>(ideal[h]), room[h]);
+        spent += give[h];
+    }
+    while (spent < extra) {
+        size_t best = n;
+        // -inf, not 0: once the small strata are past their ideal
+        // share their gaps go negative, but leftover budget must
+        // still land somewhere with room.
+        double bestGap = -std::numeric_limits<double>::infinity();
+        for (size_t h = 0; h < n; ++h) {
+            if (give[h] >= room[h])
+                continue;
+            double gap = ideal[h] - static_cast<double>(give[h]);
+            if (gap > bestGap) {
+                bestGap = gap;
+                best = h;
+            }
+        }
+        if (best == n)
+            break; // every stratum is fully measured
+        ++give[best];
+        ++spent;
+    }
+    return give;
+}
+
+} // namespace sample
+} // namespace gdiff

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Stratified-sampling estimators: the statistics under the sampled
+ * simulator (src/sample/sample.hh).
+ *
+ * The measured region of a trace is partitioned into equal-length
+ * candidate windows, each window belongs to exactly one stratum, and
+ * a per-stratum subset of windows is actually timing-simulated. The
+ * estimators here turn those per-window measurements into point
+ * estimates with 95% confidence intervals, using the classic
+ * stratified mean with finite-population correction:
+ *
+ *   mean  = sum_h (W_h / W) * xbar_h
+ *   Var   = sum_h (W_h / W)^2 * (1 - n_h/N_h) * S_h^2 / n_h
+ *
+ * where W_h is stratum h's total record weight, N_h its candidate
+ * windows, n_h its measured windows, xbar_h the record-weighted mean
+ * of the measured windows, and S_h^2 their sample variance. The
+ * (1 - n_h/N_h) factor is what makes a fully measured stratum report
+ * a zero-width interval.
+ *
+ * Everything in here is pure arithmetic over the caller's vectors —
+ * deterministic, allocation-light, and independently unit-testable
+ * (tests/test_sample.cc pins known-answer cases).
+ */
+
+#ifndef GDIFF_SAMPLE_ESTIMATOR_HH
+#define GDIFF_SAMPLE_ESTIMATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace gdiff {
+namespace sample {
+
+/// two-sided 95% normal quantile (the large-sample interval width)
+inline constexpr double kZ95 = 1.96;
+
+/**
+ * @return the two-sided 95% Student-t quantile for @p df degrees of
+ * freedom (monotone-interpolated table; exact at the tabulated df,
+ * within ~0.5% between them, kZ95 in the limit). Sampled runs size
+ * their intervals with df = measured windows - strata: with only a
+ * handful of measured windows the variance estimate itself is noisy,
+ * and a plain z interval under-covers badly (z=1.96 vs t=2.78 at 4
+ * df). @p df of 0 returns the df=1 value (12.7 — one window of slack
+ * pins almost nothing down).
+ */
+double tQuantile975(uint64_t df);
+
+/** A point estimate with its uncertainty. */
+struct MetricEstimate
+{
+    double mean = 0.0;
+    double stdError = 0.0; ///< sqrt of the estimator variance
+    double ciLo = 0.0;     ///< mean - z * stdError
+    double ciHi = 0.0;     ///< mean + z * stdError
+};
+
+/** One stratum's measurements for one metric. */
+struct StratumSamples
+{
+    /// W_h: total records across *all* candidate windows of the
+    /// stratum (measured or not) — the stratum's share of the stream
+    double weight = 0.0;
+    /// N_h: candidate windows in the stratum
+    uint64_t population = 0;
+    /// per measured window: the metric value
+    std::vector<double> values;
+    /// per measured window: its record count (weights the mean;
+    /// end-of-trace windows can be shorter than the rest)
+    std::vector<double> weights;
+};
+
+/**
+ * The stratified estimator over @p strata.
+ *
+ * Every stratum must have population >= 1, weight > 0, and at least
+ * one measured value with a positive weight (panics otherwise — an
+ * empty stratum means the allocator is broken, not the data). A
+ * stratum with a single measured window contributes zero variance:
+ * its spread is unknowable from one sample, so intervals are
+ * *understated* when many strata are measured once — see
+ * INTERNALS.md ("when CIs lie").
+ *
+ * @param z the two-sided quantile (default 95%).
+ */
+MetricEstimate
+stratifiedEstimate(const std::vector<StratumSamples> &strata,
+                   double z = kZ95);
+
+/**
+ * @return the estimate of 1/x given an estimate of x (IPC from CPI).
+ * The interval endpoints swap (1/x is decreasing); the standard
+ * error follows the delta method (se' = se / mean^2). @p e.mean and
+ * @p e.ciLo must be positive (panics otherwise): CPI is bounded
+ * below by 1/issue-width, so a non-positive lower bound means the
+ * sample budget was far too small to estimate anything.
+ */
+MetricEstimate invertEstimate(const MetricEstimate &e);
+
+/**
+ * @return the estimate of num/den for independent estimates (speedup
+ * from two IPCs), with relative errors combined in quadrature. Both
+ * means must be positive.
+ */
+MetricEstimate ratioEstimate(const MetricEstimate &num,
+                             const MetricEstimate &den,
+                             double z = kZ95);
+
+/**
+ * Neyman allocation of @p extra additional measured windows across
+ * strata, proportional to @p spread (per-stratum W_h * S_h from the
+ * pilot measurements), on top of @p already measured windows and
+ * capped by @p capacity (N_h). Uses floor-plus-largest-remainder
+ * rounding with deterministic ties (lowest stratum index wins), and
+ * falls back to capacity-proportional allocation when every spread
+ * is zero (pilot saw no variance anywhere). The result sums to
+ * @p extra unless total remaining capacity is smaller.
+ */
+std::vector<uint64_t>
+neymanAllocate(const std::vector<double> &spread,
+               const std::vector<uint64_t> &already,
+               const std::vector<uint64_t> &capacity, uint64_t extra);
+
+} // namespace sample
+} // namespace gdiff
+
+#endif // GDIFF_SAMPLE_ESTIMATOR_HH

@@ -71,7 +71,10 @@ Client::submit(const SubmitRequest &request, std::string *error)
     if (!writeFrame(sock.get(),
                     submitMessage(request.client, request.grid,
                                   request.instructions,
-                                  request.warmup))) {
+                                  request.warmup,
+                                  request.sampleBudget,
+                                  request.sampleWindow,
+                                  request.sampleSeed))) {
         if (error)
             *error = "writing submit frame failed (daemon gone?)";
         return false;

@@ -30,6 +30,11 @@ struct SubmitRequest
     std::string client;        ///< name for fairness/obs attribution
     uint64_t instructions = 0; ///< 0 = daemon/grid default
     uint64_t warmup = 0;       ///< 0 = grid default
+    /// 0 = full-trace simulation; non-zero requests sampled
+    /// simulation with this many timing-simulated records per job
+    uint64_t sampleBudget = 0;
+    uint64_t sampleWindow = 4096; ///< records per measured window
+    uint64_t sampleSeed = 1;      ///< window-selection seed
 };
 
 /** The daemon's sweep_done summary. */

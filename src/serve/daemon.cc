@@ -383,6 +383,36 @@ struct Daemon::Impl
             }
             spec.warmup = static_cast<uint64_t>(v->number);
         }
+        // Sampled-simulation knobs; geometry errors (window longer
+        // than the region, budget below one window) surface through
+        // validateOr below like any other bad spec.
+        if (const json::Value *v = msg.find("sample_budget")) {
+            if (!v->isNumber() || v->number < 0) {
+                sendTo(*conn, errorMessage(
+                                  "'sample_budget' must be a "
+                                  "non-negative number"));
+                return;
+            }
+            spec.sampleBudget = static_cast<uint64_t>(v->number);
+        }
+        if (const json::Value *v = msg.find("sample_window")) {
+            if (!v->isNumber() || v->number < 1) {
+                sendTo(*conn, errorMessage(
+                                  "'sample_window' must be a positive "
+                                  "number"));
+                return;
+            }
+            spec.sampleWindow = static_cast<uint64_t>(v->number);
+        }
+        if (const json::Value *v = msg.find("sample_seed")) {
+            if (!v->isNumber() || v->number < 0) {
+                sendTo(*conn, errorMessage(
+                                  "'sample_seed' must be a "
+                                  "non-negative number"));
+                return;
+            }
+            spec.sampleSeed = static_cast<uint64_t>(v->number);
+        }
 
         std::vector<runner::JobSpec> jobs = spec.expand();
         // Admission never hands a spec to a worker that runJob could

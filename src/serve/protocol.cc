@@ -90,7 +90,9 @@ quoted(const std::string &s)
 
 std::string
 submitMessage(const std::string &client, const std::string &grid,
-              uint64_t instructions, uint64_t warmup)
+              uint64_t instructions, uint64_t warmup,
+              uint64_t sampleBudget, uint64_t sampleWindow,
+              uint64_t sampleSeed)
 {
     std::string msg = "{\"type\":\"submit\",\"client\":" +
                       quoted(client) + ",\"grid\":" + quoted(grid);
@@ -103,6 +105,14 @@ submitMessage(const std::string &client, const std::string &grid,
     if (warmup != 0) {
         std::snprintf(buf, sizeof(buf), ",\"warmup\":%" PRIu64,
                       warmup);
+        msg += buf;
+    }
+    if (sampleBudget != 0) {
+        std::snprintf(buf, sizeof(buf),
+                      ",\"sample_budget\":%" PRIu64
+                      ",\"sample_window\":%" PRIu64
+                      ",\"sample_seed\":%" PRIu64,
+                      sampleBudget, sampleWindow, sampleSeed);
         msg += buf;
     }
     msg += '}';

@@ -79,11 +79,17 @@ bool writeFrame(int fd, std::string_view payload,
 /// @name Message constructors
 /// @{
 
-/** Submit request for @p grid. Zero instructions/warmup fields are
- * omitted and the daemon applies its grid defaults. */
+/** Submit request for @p grid. Zero instructions/warmup/sample-budget
+ * fields are omitted and the daemon applies its grid defaults. A
+ * non-zero @p sampleBudget requests sampled simulation (95% CI
+ * columns) with @p sampleWindow records per measured window and
+ * selection seed @p sampleSeed. */
 std::string submitMessage(const std::string &client,
                           const std::string &grid,
-                          uint64_t instructions, uint64_t warmup);
+                          uint64_t instructions, uint64_t warmup,
+                          uint64_t sampleBudget = 0,
+                          uint64_t sampleWindow = 4096,
+                          uint64_t sampleSeed = 1);
 
 std::string statusMessage();
 std::string pingMessage();

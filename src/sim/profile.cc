@@ -46,7 +46,7 @@ ProfileConfig::validate() const
         fatal("profile run length is 0 instructions: nothing would "
               "be measured");
     }
-    if (warmupInstructions >= maxInstructions) {
+    if (!allowLongWarmup && warmupInstructions >= maxInstructions) {
         fatal("profile warmup (%llu) must be smaller than the "
               "measured instruction budget (%llu)",
               static_cast<unsigned long long>(warmupInstructions),

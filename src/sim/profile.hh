@@ -35,12 +35,17 @@ struct ProfileConfig
     uint64_t warmupInstructions = 200'000;
     /// confidence policy for gated statistics
     predictors::ConfidenceConfig confidence;
+    /// permit warmup >= maxInstructions. A full run warming more than
+    /// it measures is a misconfiguration, but a sampled-simulation
+    /// window (src/sample/) legitimately warms as many records as it
+    /// measures — its windows opt in; everything else keeps the check.
+    bool allowLongWarmup = false;
 
     /**
      * Reject run lengths that would silently measure nothing:
-     * maxInstructions == 0, or warmup >= maxInstructions. Calls
-     * fatal() with the offending values. The profile runners validate
-     * on construction.
+     * maxInstructions == 0, or (unless allowLongWarmup) warmup >=
+     * maxInstructions. Calls fatal() with the offending values. The
+     * profile runners validate on construction.
      */
     void validate() const;
 };

@@ -23,6 +23,7 @@ Histogram::record(uint64_t sample)
         ++overflowCount;
     ++sampleCount;
     sum += static_cast<double>(sample);
+    sumSq += static_cast<double>(sample) * static_cast<double>(sample);
     if (sample > maxSeen)
         maxSeen = sample;
 }
@@ -48,6 +49,24 @@ Histogram::mean() const
 {
     return sampleCount == 0 ? 0.0
                             : sum / static_cast<double>(sampleCount);
+}
+
+double
+Histogram::variance() const
+{
+    if (sampleCount < 2)
+        return 0.0;
+    double n = static_cast<double>(sampleCount);
+    double m = sum / n;
+    // E[x^2] - mean^2 can go epsilon-negative from rounding when all
+    // samples are (nearly) equal; clamp rather than return -0.0.
+    return std::max(0.0, sumSq / n - m * m);
+}
+
+double
+Histogram::stddev() const
+{
+    return std::sqrt(variance());
 }
 
 uint64_t
@@ -86,6 +105,7 @@ Histogram::merge(const Histogram &other)
     overflowCount += other.overflowCount;
     sampleCount += other.sampleCount;
     sum += other.sum;
+    sumSq += other.sumSq;
     maxSeen = std::max(maxSeen, other.maxSeen);
 }
 
@@ -97,6 +117,7 @@ Histogram::reset()
     overflowCount = 0;
     sampleCount = 0;
     sum = 0.0;
+    sumSq = 0.0;
     maxSeen = 0;
 }
 

@@ -46,6 +46,17 @@ class Histogram
      * contribute their true values). */
     double mean() const;
 
+    /**
+     * @return the population variance of all recorded samples
+     * (E[x^2] - mean^2, from exact running sums — overflow samples
+     * contribute their true values, unlike percentile()). 0 when
+     * fewer than two samples were recorded.
+     */
+    double variance() const;
+
+    /** @return sqrt(variance()). */
+    double stddev() const;
+
     /** @return the largest sample seen so far (0 if none). */
     uint64_t maxSample() const { return maxSeen; }
 
@@ -72,6 +83,7 @@ class Histogram
     uint64_t overflowCount = 0;
     uint64_t sampleCount = 0;
     double sum = 0.0;
+    double sumSq = 0.0;
     uint64_t maxSeen = 0;
 };
 

@@ -118,6 +118,15 @@ firstEqualScalar(const int64_t *a, const int64_t *b, size_t n)
     return -1;
 }
 
+size_t
+countSecondDiffZeroScalar(const uint64_t *v, size_t n, size_t L)
+{
+    size_t count = 0;
+    for (size_t i = 2 * L; i < n; ++i)
+        count += (v[i] - v[i - L]) == (v[i - L] - v[i - 2 * L]);
+    return count;
+}
+
 // -------------------------------------------------------- AVX2 kernels
 
 #if GDIFF_SIMD_X86 && defined(__GNUC__)
@@ -233,6 +242,31 @@ firstEqualAvx2(const int64_t *a, const int64_t *b, size_t n)
     return -1;
 }
 
+GDIFF_AVX2_FN size_t
+countSecondDiffZeroAvx2(const uint64_t *v, size_t n, size_t L)
+{
+    if (n <= 2 * L)
+        return 0;
+    size_t count = 0;
+    size_t i = 2 * L;
+    for (; i + 4 <= n; i += 4) {
+        __m256i a = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(v + i));
+        __m256i b = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(v + i - L));
+        __m256i c = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(v + i - 2 * L));
+        __m256i eq = _mm256_cmpeq_epi64(_mm256_sub_epi64(a, b),
+                                        _mm256_sub_epi64(b, c));
+        count += static_cast<size_t>(__builtin_popcount(
+            static_cast<unsigned>(_mm256_movemask_pd(
+                _mm256_castsi256_pd(eq)))));
+    }
+    for (; i < n; ++i)
+        count += (v[i] - v[i - L]) == (v[i - L] - v[i - 2 * L]);
+    return count;
+}
+
 #endif // GDIFF_SIMD_X86 && __GNUC__
 
 } // anonymous namespace
@@ -284,6 +318,18 @@ firstEqual(const int64_t *a, const int64_t *b, size_t n)
         return firstEqualAvx2(a, b, n);
 #endif
     return firstEqualScalar(a, b, n);
+}
+
+size_t
+countSecondDiffZero(const uint64_t *v, size_t n, size_t L)
+{
+    if (n <= 2 * L)
+        return 0;
+#if GDIFF_SIMD_X86 && defined(__GNUC__)
+    if (gMode == Mode::Avx2)
+        return countSecondDiffZeroAvx2(v, n, L);
+#endif
+    return countSecondDiffZeroScalar(v, n, L);
 }
 
 } // namespace simd

@@ -70,6 +70,24 @@ TraceChunk::assign(const TraceChunk &other)
     std::copy_n(other.flags.begin(), size, flags.begin());
 }
 
+void
+TraceChunk::assignSlice(const TraceChunk &other, uint32_t begin,
+                        uint32_t count)
+{
+    GDIFF_ASSERT(this != &other, "assignSlice from self");
+    GDIFF_ASSERT(begin + count <= other.size,
+                 "assignSlice [%u, %u) outside chunk of %u records",
+                 begin, begin + count, other.size);
+    size = count;
+    std::copy_n(other.inst.begin() + begin, count, inst.begin());
+    std::copy_n(other.seq.begin() + begin, count, seq.begin());
+    std::copy_n(other.pc.begin() + begin, count, pc.begin());
+    std::copy_n(other.nextPc.begin() + begin, count, nextPc.begin());
+    std::copy_n(other.value.begin() + begin, count, value.begin());
+    std::copy_n(other.effAddr.begin() + begin, count, effAddr.begin());
+    std::copy_n(other.flags.begin() + begin, count, flags.begin());
+}
+
 // ------------------------------------------------------ TraceSource
 
 bool
@@ -111,6 +129,67 @@ TraceSource::resetBuffer()
     if (buffer)
         buffer->clear();
     bufferPos = 0;
+}
+
+// -------------------------------------------------- SkipTraceSource
+
+SkipTraceSource::SkipTraceSource(TraceSource &inner, uint64_t skip)
+    : inner(inner), toSkip(skip)
+{}
+
+void
+SkipTraceSource::skipPrefix()
+{
+    skipped = true;
+    if (toSkip == 0)
+        return;
+    if (!skipScratch)
+        skipScratch = std::make_unique<TraceChunk>();
+    while (toSkip > 0) {
+        const TraceChunk *c = inner.fillRef(*skipScratch);
+        if (!c) {
+            // Stream shorter than the skip: nothing left to deliver.
+            toSkip = 0;
+            return;
+        }
+        if (c->size <= toSkip) {
+            toSkip -= c->size;
+            continue;
+        }
+        // Boundary mid-chunk: keep the tail. The inner chunk may be
+        // frozen (cache replay), so the slice goes into an owned copy.
+        uint32_t keepFrom = static_cast<uint32_t>(toSkip);
+        if (!partial)
+            partial = std::make_unique<TraceChunk>();
+        partial->assignSlice(*c, keepFrom, c->size - keepFrom);
+        partialPending = true;
+        toSkip = 0;
+    }
+}
+
+bool
+SkipTraceSource::fill(TraceChunk &chunk)
+{
+    if (!skipped)
+        skipPrefix();
+    if (partialPending) {
+        partialPending = false;
+        chunk.assign(*partial);
+        return !chunk.empty();
+    }
+    return inner.fill(chunk);
+}
+
+const TraceChunk *
+SkipTraceSource::fillRef(TraceChunk &scratch)
+{
+    if (!skipped)
+        skipPrefix();
+    if (partialPending) {
+        partialPending = false;
+        return partial.get();
+    }
+    return inner.fillRef(scratch);
 }
 
 } // namespace workload

@@ -121,6 +121,15 @@ struct TraceChunk
     /** Copy the used prefix of @p other into this chunk. */
     void assign(const TraceChunk &other);
 
+    /**
+     * Copy records [begin, begin+count) of @p other into this chunk
+     * starting at record 0 (@p other must not be this chunk). The
+     * sampled-simulation windows use this to keep the tail of a chunk
+     * that a fast-forward boundary split.
+     */
+    void assignSlice(const TraceChunk &other, uint32_t begin,
+                     uint32_t count);
+
     /** @return the flags byte push() would derive for @p r. */
     static uint8_t deriveFlags(const TraceRecord &r);
 };
@@ -184,6 +193,44 @@ class TraceSource
   private:
     std::unique_ptr<TraceChunk> buffer; ///< lazily allocated
     uint32_t bufferPos = 0;
+};
+
+/**
+ * Drops the first @p skip records of an inner source, then streams the
+ * remainder unchanged — the functional fast-forward of the sampled
+ * simulator (src/sample/): a measured window at stream offset S warms
+ * and measures a SkipTraceSource(inner, S - warmup).
+ *
+ * The skip itself never simulates anything: over a CachedTraceSource
+ * it walks frozen chunk references, so fast-forwarding costs one
+ * pointer chase per 4096 records. When the skip boundary lands inside
+ * a chunk the tail is copied once into an owned chunk (inner sources
+ * may hand out frozen or scratch-backed chunks that must not be
+ * mutated); every following chunk is passed through zero-copy.
+ *
+ * Non-owning: @p inner must outlive this source. If the inner stream
+ * is shorter than @p skip, this source is empty.
+ */
+class SkipTraceSource : public TraceSource
+{
+  public:
+    SkipTraceSource(TraceSource &inner, uint64_t skip);
+
+    bool fill(TraceChunk &chunk) override;
+    const TraceChunk *fillRef(TraceChunk &scratch) override;
+
+  private:
+    /** Consume the skipped prefix (first delivery only). */
+    void skipPrefix();
+
+    TraceSource &inner;
+    uint64_t toSkip;
+    bool skipped = false;
+    /// tail of the chunk the skip boundary split, pending delivery
+    std::unique_ptr<TraceChunk> partial;
+    bool partialPending = false;
+    /// scratch for draining inner chunks during the skip
+    std::unique_ptr<TraceChunk> skipScratch;
 };
 
 } // namespace workload

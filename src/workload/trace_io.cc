@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "util/logging.hh"
+#include "util/simd.hh"
 #include "util/varint.hh"
 
 namespace gdiff {
@@ -183,9 +184,11 @@ bestWidePeriod(const uint64_t *v, uint32_t n)
     uint32_t bestL = 1;
     uint64_t bestScore = 0;
     for (uint32_t L = 2; L <= maxPeriod && 2 * L < window; ++L) {
-        uint64_t score = 0;
-        for (uint32_t i = 2 * L; i < window; ++i)
-            score += (v[i] - v[i - L]) == (v[i - L] - v[i - 2 * L]);
+        // Lane kernel for the lag-L second-difference count: this
+        // scan runs once per candidate period for every encoded
+        // block and every profiled sampling window, and is the
+        // dominant cost of both callers.
+        uint64_t score = simd::countSecondDiffZero(v, window, L);
         // Normalize so long and short periods compete fairly within
         // the shared window.
         score = score * window / (window - 2 * L);
@@ -226,6 +229,12 @@ ioError(TraceIoStatus status, std::string message)
 }
 
 } // anonymous namespace
+
+uint32_t
+detectStridePeriod(const uint64_t *v, uint32_t n)
+{
+    return bestWidePeriod(v, n);
+}
 
 namespace detail {
 

@@ -272,6 +272,16 @@ class TraceFileSource : public TraceSource
     std::string path;
 };
 
+/**
+ * The v3 codec's phase/period detector, exported for phase-aware
+ * sampling strata (src/sample/): @return the period L (2..48) at
+ * which the column's lag-L deltas are most nearly constant per phase
+ * over a <= 2048-element scan prefix, or 1 when no period shows a
+ * useful signal. A stream's (value-period, pc-period) pair is a cheap
+ * fingerprint of which loop phase it is in.
+ */
+uint32_t detectStridePeriod(const uint64_t *v, uint32_t n);
+
 } // namespace workload
 } // namespace gdiff
 

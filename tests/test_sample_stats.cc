@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Statistical validation of the sampled simulator against golden
+ * full runs (slow; label "slow", excluded by `ctest -LE slow`).
+ *
+ * Three batteries:
+ *
+ *  - Containment: for every Table 2 / Fig. 19 cell (workload x
+ *    scheme at the golden budget) a small-budget sampled run's IPC
+ *    interval — widened 1.5x, roughly a 99.9% interval — must
+ *    contain the pinned full-run IPC from tests/golden/. This is
+ *    the end-to-end bias check: an estimator or warming bug shows
+ *    up as a many-sigma miss, which the widening never absorbs,
+ *    while nominal-level sampling variance (a ~95% interval MUST
+ *    miss one cell in twenty — demanding all 40 cells inside it
+ *    would be flaky by design) stays within the margin. Interval
+ *    *calibration* at the nominal level is what the coverage
+ *    battery below validates. Reusing the golden files
+ *    test_paper_golden pins means a model change that regenerates
+ *    them revalidates sampling for free.
+ *
+ *  - Coverage: across 50 sampling seeds on two kernels, the fraction
+ *    of intervals containing the true full-run IPC must reach the
+ *    ~95% nominal level (with slack for the finite seed count).
+ *    Catching systematic under-coverage is the point: a bias or an
+ *    understated variance shows up here as a coverage collapse long
+ *    before any single run looks wrong.
+ *
+ *  - Determinism: a sampled sweep's metrics are bit-identical at 1
+ *    and 4 worker threads and across reruns with the same seed.
+ *
+ * Every run is deterministic (fixed workload seeds, fixed sampling
+ * seeds), so these tests either always pass or always fail for a
+ * given code state — there is no flake budget.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "runner/runner.hh"
+#include "sample/sample.hh"
+#include "util/json.hh"
+#include "workload/trace_cache.hh"
+#include "workload/workload.hh"
+
+using namespace gdiff;
+
+namespace {
+
+// The golden files' budget (see test_paper_golden.cc — the files
+// record and verify these, so a mismatch fails loudly there).
+constexpr uint64_t kInstructions = 60'000;
+constexpr uint64_t kWarmup = 10'000;
+constexpr unsigned kOrder = 32;
+constexpr uint64_t kTable = 8192;
+constexpr uint64_t kSeed = 1;
+
+/// sampled budget for the containment battery: 9 of the region's 15
+/// candidate windows
+constexpr uint64_t kBudget = 36'864;
+constexpr uint64_t kWindow = 4096;
+
+workload::TraceCache &
+sharedCache()
+{
+    static workload::TraceCache cache;
+    return cache;
+}
+
+runner::JobSpec
+sampledSpec(const std::string &workload, const std::string &scheme,
+            uint64_t sampleSeed, uint64_t budget = kBudget)
+{
+    runner::JobSpec spec;
+    spec.mode = runner::JobMode::Pipeline;
+    spec.workload = workload;
+    spec.scheme = scheme;
+    spec.order = kOrder;
+    spec.tableEntries = kTable;
+    spec.seed = kSeed;
+    spec.instructions = kInstructions;
+    spec.warmup = kWarmup;
+    spec.sampleBudget = budget;
+    spec.sampleWindow = kWindow;
+    spec.sampleSeed = sampleSeed;
+    return spec;
+}
+
+json::Value
+loadGolden(const char *file)
+{
+    std::string path = std::string(GDIFF_GOLDEN_DIR "/") + file;
+    std::ifstream is(path);
+    EXPECT_TRUE(is.good())
+        << "missing golden file " << path
+        << " — generate it with: test_paper_golden --update-golden";
+    std::stringstream ss;
+    ss << is.rdbuf();
+    json::Value root;
+    std::string error;
+    EXPECT_TRUE(json::parse(ss.str(), root, &error))
+        << path << ": " << error;
+    return root;
+}
+
+/** Golden full-run IPC per (workload, scheme), from tests/golden/. */
+std::map<std::string, std::map<std::string, double>>
+goldenIpc()
+{
+    std::map<std::string, std::map<std::string, double>> out;
+    json::Value table2 = loadGolden("table2_ipc.json");
+    json::Value fig19 = loadGolden("fig19_speedup.json");
+    if (!table2.isObject() || !fig19.isObject())
+        return out; // load already failed the test
+
+    // The goldens must describe the budget we sample at, or
+    // containment would compare against a different experiment.
+    EXPECT_EQ(table2.at("instructions").asNumber(),
+              static_cast<double>(kInstructions));
+    EXPECT_EQ(table2.at("warmup").asNumber(),
+              static_cast<double>(kWarmup));
+
+    for (const auto &[name, v] : table2.at("ipc").object) {
+        double base = v.isNumber() ? v.asNumber()
+                                   : v.at("value").asNumber();
+        out[name]["baseline"] = base;
+        const json::Value *ratios = fig19.at("speedup").find(name);
+        EXPECT_NE(ratios, nullptr) << "fig19 misses " << name;
+        if (!ratios)
+            continue;
+        for (const auto &[scheme, r] : ratios->object) {
+            double ratio = r.isNumber() ? r.asNumber()
+                                        : r.at("value").asNumber();
+            out[name][scheme] = base * ratio;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+TEST(SampleStats, GoldenIpcInsideSampledInterval)
+{
+    const auto golden = goldenIpc();
+    ASSERT_FALSE(golden.empty());
+
+    for (const auto &[workload, schemes] : golden) {
+        for (const auto &[scheme, fullIpc] : schemes) {
+            runner::JobResult r = sample::runSampledJob(
+                sampledSpec(workload, scheme, /*sampleSeed=*/1),
+                &sharedCache(), 4);
+            double ipc = r.metric("ipc");
+            // 1.5x the reported interval: ~99.9% for the t widths
+            // these budgets produce. See the file comment.
+            double lo = ipc - 1.5 * (ipc - r.metric("ipc_ci_lo"));
+            double hi = ipc + 1.5 * (r.metric("ipc_ci_hi") - ipc);
+            EXPECT_LE(lo, fullIpc)
+                << workload << "/" << scheme
+                << ": golden full-run IPC " << fullIpc
+                << " below widened sampled CI [" << lo << ", " << hi
+                << "] (point " << ipc << ")";
+            EXPECT_GE(hi, fullIpc)
+                << workload << "/" << scheme
+                << ": golden full-run IPC " << fullIpc
+                << " above widened sampled CI [" << lo << ", " << hi
+                << "] (point " << ipc << ")";
+        }
+    }
+}
+
+TEST(SampleStats, EmpiricalCoverageNearNominal)
+{
+    const int kSeeds = 50;
+    // 95% nominal; 44/50 (88%) is ~2.5 binomial standard deviations
+    // below it — anything under that means the intervals are lying,
+    // not that the seeds were unlucky.
+    const int kMinCovered = 44;
+
+    for (const std::string workload : {"mcf", "gzip"}) {
+        runner::JobSpec full = sampledSpec(workload, "baseline", 1);
+        full.sampleBudget = 0;
+        double fullIpc =
+            runner::runJob(full, &sharedCache()).metric("ipc");
+
+        int covered = 0;
+        std::vector<std::string> misses;
+        for (int s = 1; s <= kSeeds; ++s) {
+            runner::JobResult r = sample::runSampledJob(
+                sampledSpec(workload, "baseline", s), &sharedCache(),
+                4);
+            if (r.metric("ipc_ci_lo") <= fullIpc &&
+                fullIpc <= r.metric("ipc_ci_hi")) {
+                ++covered;
+            } else {
+                std::ostringstream os;
+                os << "seed " << s << ": [" << r.metric("ipc_ci_lo")
+                   << ", " << r.metric("ipc_ci_hi") << "]";
+                misses.push_back(os.str());
+            }
+        }
+        EXPECT_GE(covered, kMinCovered)
+            << workload << ": only " << covered << "/" << kSeeds
+            << " intervals contain the full-run IPC " << fullIpc
+            << "; missed: " << ::testing::PrintToString(misses);
+    }
+}
+
+TEST(SampleStats, SweepBitIdenticalAcrossThreadCounts)
+{
+    const std::vector<std::string> schemes = {"baseline", "l_stride",
+                                              "l_context", "hgvq"};
+    for (const auto &scheme : schemes) {
+        runner::JobSpec spec = sampledSpec("mcf", scheme, 7);
+        runner::JobResult one =
+            sample::runSampledJob(spec, &sharedCache(), 1);
+        runner::JobResult four =
+            sample::runSampledJob(spec, &sharedCache(), 4);
+        runner::JobResult again =
+            sample::runSampledJob(spec, &sharedCache(), 4);
+
+        ASSERT_EQ(one.metrics.size(), four.metrics.size());
+        for (size_t i = 0; i < one.metrics.size(); ++i) {
+            EXPECT_EQ(one.metrics[i].first, four.metrics[i].first);
+            EXPECT_EQ(one.metrics[i].second, four.metrics[i].second)
+                << scheme << "/" << one.metrics[i].first
+                << " differs between 1 and 4 threads";
+            EXPECT_EQ(four.metrics[i].second, again.metrics[i].second)
+                << scheme << "/" << one.metrics[i].first
+                << " differs between reruns";
+        }
+    }
+}

@@ -155,6 +155,31 @@ TEST_F(SimdKernels, FirstEqualFindsSmallestIndex)
     }
 }
 
+TEST_F(SimdKernels, CountSecondDiffZeroMatchesScalarReference)
+{
+    // Lags around the vector width plus the degenerate n <= 2L shapes
+    // (scan window shorter than two periods -> zero by contract).
+    const size_t kLags[] = {1, 2, 3, 4, 5, 8, 31, 64};
+    for (size_t n : kSizes) {
+        for (size_t L : kLags) {
+            auto v = randomLane(n, 17 * n + L);
+            // Plant a genuine stride run so counts are non-trivial.
+            for (size_t i = 8; i < n && i < 200; ++i)
+                v[i] = v[i - 1] + 3;
+            simd::setModeForTest(simd::Mode::Avx2);
+            size_t avx = simd::countSecondDiffZero(v.data(), n, L);
+            simd::setModeForTest(simd::Mode::Scalar);
+            size_t sc = simd::countSecondDiffZero(v.data(), n, L);
+            ASSERT_EQ(avx, sc) << "n=" << n << " L=" << L;
+
+            size_t ref = 0;
+            for (size_t i = 2 * L; i < n; ++i)
+                ref += (v[i] - v[i - L]) == (v[i - L] - v[i - 2 * L]);
+            ASSERT_EQ(sc, ref) << "n=" << n << " L=" << L;
+        }
+    }
+}
+
 TEST(SimdDispatch, NamesAreStable)
 {
     simd::Mode m = simd::activeMode();

@@ -208,6 +208,71 @@ TEST(Histogram, MergeOfDisjointRanges)
     EXPECT_EQ(low.percentile(1.0), 50u);
 }
 
+TEST(Histogram, VarianceFromRunningSums)
+{
+    // {2, 4, 4, 4, 5, 5, 7, 9}: mean 5, population variance 4.
+    Histogram h(16);
+    for (uint64_t v : {2u, 4u, 4u, 4u, 5u, 5u, 7u, 9u})
+        h.record(v);
+    EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(h.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(h.stddev(), 2.0);
+}
+
+TEST(Histogram, VarianceOfFewerThanTwoSamplesIsZero)
+{
+    Histogram h(4);
+    EXPECT_DOUBLE_EQ(h.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(h.stddev(), 0.0);
+    h.record(3);
+    EXPECT_DOUBLE_EQ(h.variance(), 0.0);
+}
+
+TEST(Histogram, VarianceUsesTrueOverflowValues)
+{
+    // Overflow samples keep their exact values in the running sums
+    // (unlike percentile(), which loses per-value resolution there).
+    Histogram h(4);
+    h.record(0);
+    h.record(100); // -> overflow bucket
+    EXPECT_DOUBLE_EQ(h.mean(), 50.0);
+    EXPECT_DOUBLE_EQ(h.variance(), 2500.0);
+}
+
+TEST(Histogram, VarianceSurvivesMergeOfDisjointRanges)
+{
+    // Per-thread histograms that saw different halves of the data
+    // must merge into the exact whole-population moments.
+    Histogram low(8), high(8), all(8);
+    for (uint64_t v : {0u, 1u, 1u, 2u}) {
+        low.record(v);
+        all.record(v);
+    }
+    for (uint64_t v : {6u, 7u, 50u}) { // 50 overflows
+        high.record(v);
+        all.record(v);
+    }
+    low.merge(high);
+    EXPECT_DOUBLE_EQ(low.mean(), all.mean());
+    EXPECT_DOUBLE_EQ(low.variance(), all.variance());
+    EXPECT_DOUBLE_EQ(low.stddev(), all.stddev());
+    EXPECT_GT(low.variance(), 0.0);
+}
+
+TEST(Histogram, ResetClearsTheMomentSums)
+{
+    Histogram h(4);
+    h.record(3);
+    h.record(100);
+    h.reset();
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(h.variance(), 0.0);
+    h.record(2);
+    h.record(4);
+    EXPECT_DOUBLE_EQ(h.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(h.variance(), 1.0);
+}
+
 TEST(Histogram, MergeWithEmptyIsIdentity)
 {
     Histogram h(4), empty(4);
