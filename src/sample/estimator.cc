@@ -79,7 +79,12 @@ stratifiedEstimate(const std::vector<StratumSamples> &strata, double z)
 
         // Sample variance of the window values around the stratum
         // mean; a single measured window contributes zero (unknowable
-        // spread — this is where intervals can understate).
+        // spread — this is where intervals can understate). The
+        // variance is deliberately *unweighted* while xbar is
+        // record-weighted: windows are equal-length except the clipped
+        // last one, so the equal-weight S_h^2 differs from a weighted
+        // variance by at most one window's share — documented with the
+        // other interval caveats in INTERNALS ("when CIs lie").
         double s2 = 0.0;
         if (h.values.size() > 1) {
             for (double x : h.values)
@@ -160,8 +165,10 @@ neymanAllocate(const std::vector<double> &spread,
     }
 
     // A pilot that saw zero variance everywhere gives Neyman nothing
-    // to weight by; fall back to spreading proportionally to stratum
-    // size so coverage still scales with the budget.
+    // to weight by; fall back to spreading proportionally to each
+    // stratum's *remaining room* (not full capacity — the pilot
+    // already covered part of it) so coverage still scales with the
+    // budget and nothing is over-targeted into the remainder loop.
     double total = 0.0;
     for (double s : spread) {
         GDIFF_ASSERT(s >= 0.0, "negative spread");
@@ -171,7 +178,7 @@ neymanAllocate(const std::vector<double> &spread,
     if (total <= 0.0) {
         total = 0.0;
         for (size_t h = 0; h < n; ++h) {
-            w[h] = static_cast<double>(capacity[h]);
+            w[h] = static_cast<double>(room[h]);
             total += w[h];
         }
         if (total <= 0.0)

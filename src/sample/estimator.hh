@@ -15,9 +15,12 @@
  *
  * where W_h is stratum h's total record weight, N_h its candidate
  * windows, n_h its measured windows, xbar_h the record-weighted mean
- * of the measured windows, and S_h^2 their sample variance. The
- * (1 - n_h/N_h) factor is what makes a fully measured stratum report
- * a zero-width interval.
+ * of the measured windows, and S_h^2 their equal-weight sample
+ * variance (windows are equal-length except the clipped last one, so
+ * the unweighted variance is a one-window-share approximation to the
+ * weighted one — see INTERNALS "when CIs lie"). The (1 - n_h/N_h)
+ * factor is what makes a fully measured stratum report a zero-width
+ * interval.
  *
  * Everything in here is pure arithmetic over the caller's vectors —
  * deterministic, allocation-light, and independently unit-testable
@@ -114,9 +117,10 @@ MetricEstimate ratioEstimate(const MetricEstimate &num,
  * pilot measurements), on top of @p already measured windows and
  * capped by @p capacity (N_h). Uses floor-plus-largest-remainder
  * rounding with deterministic ties (lowest stratum index wins), and
- * falls back to capacity-proportional allocation when every spread
- * is zero (pilot saw no variance anywhere). The result sums to
- * @p extra unless total remaining capacity is smaller.
+ * falls back to allocation proportional to each stratum's remaining
+ * room (capacity - already) when every spread is zero (pilot saw no
+ * variance anywhere). The result sums to @p extra unless total
+ * remaining capacity is smaller.
  */
 std::vector<uint64_t>
 neymanAllocate(const std::vector<double> &spread,

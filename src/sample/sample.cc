@@ -212,16 +212,25 @@ measureWindow(const JobSpec &spec, const WindowGrid &grid, uint64_t w,
                                           spec.tableEntries);
         sim::ProfileConfig cfg;
         cfg.maxInstructions = len;
-        cfg.warmupInstructions = warm;
+        // The profile replay has no timing model, so its warmup phase
+        // already *is* functional warming: fold the functional-warmup
+        // span into it. The runner then consumes exactly the
+        // fwarm + warm + len records the skip above left it at, so
+        // measurement covers [start, start + len) — aligned with the
+        // window's stratum fingerprint, same as the pipeline branch.
+        cfg.warmupInstructions = fwarm + warm;
         // A window legitimately warms as many records as it measures.
         cfg.allowLongWarmup = true;
         sim::ValueProfileRunner prof(cfg);
         prof.addPredictor(*pred);
         prof.run(src);
-        const sim::ProfileSeries &s = prof.results().front();
-        r.weight = static_cast<double>(len);
-        r.values = {s.accuracyAll.value(), s.coverage.value(),
-                    s.accuracyGated.value()};
+        const uint64_t meas = prof.measuredRecords();
+        if (meas > 0) {
+            const sim::ProfileSeries &s = prof.results().front();
+            r.weight = static_cast<double>(meas);
+            r.values = {s.accuracyAll.value(), s.coverage.value(),
+                        s.accuracyGated.value()};
+        }
     }
 
     if (obsOn) {

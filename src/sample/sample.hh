@@ -77,7 +77,8 @@ inline constexpr uint64_t kWarmupWindows = 4;
 /// records of stream *functionally* warmed before the detailed
 /// warmup: caches, branch predictor, and VP tables train in program
 /// order with no cycle modelling (OooPipeline::run's
-/// functionalWarmup phase).
+/// functionalWarmup phase; profile-mode windows fold this span into
+/// the untimed replay's warmup, which is already functional).
 /// Structures like the D-cache converge over tens of thousands of
 /// records on some kernels (gzip's sliding dictionary is the worst
 /// case) — far more history than detailed warmup can affordably

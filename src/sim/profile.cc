@@ -162,6 +162,9 @@ ValueProfileRunner::run(workload::TraceSource &src)
         if (obsOn)
             simNs += obs::nowNs() - tStage;
     }
+    measured = executed > cfg.warmupInstructions
+                   ? executed - cfg.warmupInstructions
+                   : 0;
     if (obsOn) {
         obs::Registry &reg = obs::Registry::local();
         reg.addTimer("profile.fill", fillNs, chunks);

@@ -77,11 +77,20 @@ class ValueProfileRunner
     /** @return one series per registered predictor, in order. */
     const std::vector<ProfileSeries> &results() const { return series; }
 
+    /**
+     * @return records actually consumed past warmup by run() — less
+     * than maxInstructions when the stream ended early, 0 when it
+     * ended inside warmup. Sampled windows (src/sample/) weight their
+     * estimates by this, not by the requested budget.
+     */
+    uint64_t measuredRecords() const { return measured; }
+
   private:
     ProfileConfig cfg;
     std::vector<predictors::ValuePredictor *> preds;
     std::vector<predictors::ConfidenceTable> conf;
     std::vector<ProfileSeries> series;
+    uint64_t measured = 0;
 };
 
 /** Results of the load-address study for one predictor. */

@@ -62,6 +62,63 @@ TEST(ValueProfile, WarmupExcludedFromStats)
     // is half producers (addi) and half jumps.
     EXPECT_LE(runner.results()[0].accuracyAll.total(), 501u);
     EXPECT_GE(runner.results()[0].accuracyAll.total(), 499u);
+    EXPECT_EQ(runner.measuredRecords(), 1'000u);
+}
+
+/** Ends after a fixed number of counting-loop records. */
+class FiniteSource : public workload::TraceSource
+{
+  public:
+    explicit FiniteSource(uint64_t records) : remaining(records) {}
+
+    bool
+    fill(workload::TraceChunk &chunk) override
+    {
+        chunk.clear();
+        while (!chunk.full() && remaining > 0) {
+            workload::TraceRecord r;
+            r.seq = seq++;
+            r.pc = 0x1000;
+            r.nextPc = 0x1000;
+            r.value = static_cast<int64_t>(7 * r.seq);
+            chunk.push(r);
+            --remaining;
+        }
+        return !chunk.empty();
+    }
+
+  private:
+    uint64_t remaining;
+    uint64_t seq = 0;
+};
+
+TEST(ValueProfile, MeasuredRecordsShrinksOnShortStream)
+{
+    // The stream ends 300 records into the measured phase: the
+    // sampled simulator weights this window by 300, not by the
+    // requested 1000.
+    predictors::StridePredictor stride(0);
+    ProfileConfig cfg;
+    cfg.maxInstructions = 1'000;
+    cfg.warmupInstructions = 500;
+    ValueProfileRunner runner(cfg);
+    runner.addPredictor(stride);
+    FiniteSource src(800);
+    runner.run(src);
+    EXPECT_EQ(runner.measuredRecords(), 300u);
+}
+
+TEST(ValueProfile, MeasuredRecordsZeroWhenStreamEndsInWarmup)
+{
+    predictors::StridePredictor stride(0);
+    ProfileConfig cfg;
+    cfg.maxInstructions = 1'000;
+    cfg.warmupInstructions = 500;
+    ValueProfileRunner runner(cfg);
+    runner.addPredictor(stride);
+    FiniteSource src(400);
+    runner.run(src);
+    EXPECT_EQ(runner.measuredRecords(), 0u);
 }
 
 TEST(ValueProfile, MultiplePredictorsShareOneStream)

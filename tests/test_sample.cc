@@ -18,9 +18,11 @@
 #include <string>
 #include <vector>
 
+#include "predictors/stride.hh"
 #include "runner/runner.hh"
 #include "sample/estimator.hh"
 #include "sample/sample.hh"
+#include "sim/profile.hh"
 #include "workload/trace.hh"
 #include "workload/trace_cache.hh"
 #include "workload/trace_io.hh"
@@ -247,13 +249,25 @@ TEST(NeymanAllocate, ZeroExtraGivesNothing)
     EXPECT_EQ(give, (std::vector<uint64_t>{0, 0}));
 }
 
-TEST(NeymanAllocate, ZeroSpreadFallsBackToCapacity)
+TEST(NeymanAllocate, ZeroSpreadFallsBackToRoom)
 {
-    // A variance-free pilot still has to spread the budget; the
-    // fallback is proportional to stratum size.
+    // A variance-free pilot still has to spread the budget; with no
+    // windows measured yet the room-proportional fallback reduces to
+    // stratum size.
     std::vector<uint64_t> give = neymanAllocate(
         {0.0, 0.0}, {0, 0}, {30, 10}, 4);
     EXPECT_EQ(give, (std::vector<uint64_t>{3, 1}));
+}
+
+TEST(NeymanAllocate, ZeroSpreadFallbackWeighsRemainingRoom)
+{
+    // Stratum 0's pilot already took 2 of its 4 windows, so the
+    // fallback must weight by remaining room {2, 4}, not capacity
+    // {4, 4} — otherwise the already-covered stratum is over-targeted
+    // and the remainder loop has to redistribute the clamped excess.
+    std::vector<uint64_t> give = neymanAllocate(
+        {0.0, 0.0}, {2, 0}, {4, 4}, 4);
+    EXPECT_EQ(give, (std::vector<uint64_t>{1, 3}));
 }
 
 TEST(NeymanAllocate, CapacityCapsAndSpillsToOthers)
@@ -349,8 +363,9 @@ TEST(WindowGridDeath, RejectsDegenerateGeometry)
 
 // ----------------------------------------------- synthetic streams
 
-/** Replays caller-provided value/pc columns (flags don't matter for
- * the profiling pass). */
+/** Replays caller-provided value/pc columns. Every record is a
+ * value-producing ALU op, so the stream also drives the profile
+ * runner (the profiling pass itself ignores flags). */
 class ColumnSource : public workload::TraceSource
 {
   public:
@@ -365,6 +380,8 @@ class ColumnSource : public workload::TraceSource
         chunk.clear();
         while (!chunk.full() && pos < values.size()) {
             workload::TraceRecord r;
+            r.inst.op = isa::Opcode::Addi;
+            r.inst.rd = isa::reg::t0;
             r.seq = pos;
             r.pc = pcStride * pos;
             r.nextPc = r.pc + pcStride;
@@ -450,6 +467,48 @@ TEST(ProfileStrata, ShortStreamLeavesDefaultKeys)
     ASSERT_EQ(keys.size(), 4u);
     EXPECT_NE(keys[0].valuePeriod, 1u);
     EXPECT_TRUE(keys[3] == StratumKey{});
+}
+
+// ------------------------- profile-window measurement alignment
+
+TEST(SampledWindowAlignment, ProfileWarmupCoversTheFunctionalSpan)
+{
+    // One profile-mode window, set up exactly as measureWindow does:
+    // skip start - warm - fwarm records, then replay with the
+    // functional span folded into the untimed warmup. The stream is
+    // noise everywhere except a perfect stride ramp over the window
+    // [start, start + len), so the stride predictor can only score
+    // ~1 if measurement covers exactly the window. Regression: the
+    // skip once budgeted for a functional-warmup phase the profile
+    // replay does not have, shifting measurement up to
+    // kFunctionalWarmup records before the window — into the noise.
+    const uint64_t W = 4096;
+    WindowGrid grid = makeWindowGrid(80'000, W, W);
+    const uint64_t start = grid.start(0);
+    const uint64_t warm = grid.warmup(0);
+    const uint64_t fwarm = grid.functionalWarmup(0);
+    ASSERT_GT(fwarm, 0u);
+
+    std::vector<int64_t> v(start + W);
+    for (uint64_t i = 0; i < v.size(); ++i)
+        v[i] = noise(i);
+    for (uint64_t i = start; i < start + W; ++i)
+        v[i] = static_cast<int64_t>(7 * (i - start));
+
+    ColumnSource base(v, 0); // one pc: a single predictor site
+    workload::SkipTraceSource src(base, start - warm - fwarm);
+
+    predictors::StridePredictor stride(0);
+    sim::ProfileConfig cfg;
+    cfg.maxInstructions = W;
+    cfg.warmupInstructions = fwarm + warm;
+    cfg.allowLongWarmup = true;
+    sim::ValueProfileRunner prof(cfg);
+    prof.addPredictor(stride);
+    prof.run(src);
+
+    EXPECT_EQ(prof.measuredRecords(), W);
+    EXPECT_GT(prof.results()[0].accuracyAll.value(), 0.99);
 }
 
 // ------------------------------------------------- SkipTraceSource
