@@ -293,7 +293,18 @@ main(int argc, char **argv)
 
     std::vector<check::FuzzRecord> stream;
     if (!o.replay.empty()) {
-        stream = check::readReproArtifact(o.replay);
+        // Replay paths are untrusted (arbitrary files, artifacts from
+        // other trace-cache configs): report the typed status instead
+        // of dying inside the trace reader.
+        workload::TraceIoResult io;
+        if (!check::readReproArtifactOr(o.replay, stream, &io)) {
+            std::fprintf(stderr,
+                         "gdifffuzz: cannot replay %s: %s (%s)\n",
+                         o.replay.c_str(),
+                         workload::traceIoStatusName(io.status),
+                         io.message.c_str());
+            return 2;
+        }
         std::printf("gdifffuzz: replaying %zu records from %s\n",
                     stream.size(), o.replay.c_str());
     } else {

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "check/snapshot.hh"
 #include "obs/obs.hh"
 #include "obs/trace_export.hh"
 #include "runner/factory.hh"
@@ -46,6 +47,8 @@ struct Options
     std::string grid;
     std::string out;      // JSON-lines path
     std::string csv;      // CSV path
+    std::string snapshot; // metric-surface snapshot path
+    std::string snapshotNote; // freeform label stored in the snapshot
     std::string manifest; // resume manifest path
     unsigned threads = 0; // 0 = hardware concurrency
     uint64_t instructions = 1'000'000;
@@ -94,6 +97,11 @@ usage(const char *argv0)
         "  --out=FILE       JSON-lines results (appended when "
         "resuming)\n"
         "  --csv=FILE       CSV results\n"
+        "  --snapshot=FILE  freeze the sweep's full metric surface as\n"
+        "                   a content-digested snapshot; diff two\n"
+        "                   snapshots with gdiffcmp\n"
+        "  --snapshot-note=TEXT  label stored in the snapshot (e.g. a\n"
+        "                   commit id)\n"
         "  --manifest=FILE  resume journal: completed jobs are "
         "skipped on rerun\n"
         "  --instructions=N measured instructions per job "
@@ -172,6 +180,8 @@ parse(int argc, char **argv)
         if (take("--grid", o.grid)) {
         } else if (take("--out", o.out)) {
         } else if (take("--csv", o.csv)) {
+        } else if (take("--snapshot", o.snapshot)) {
+        } else if (take("--snapshot-note", o.snapshotNote)) {
         } else if (take("--manifest", o.manifest)) {
         } else if (take("--threads", v)) {
             o.threads =
@@ -275,6 +285,13 @@ main(int argc, char **argv)
             o.out, resuming, o.deterministic));
     if (!o.csv.empty())
         sinks.push_back(std::make_unique<runner::CsvSink>(o.csv));
+    check::SnapshotSink *snapshotSink = nullptr;
+    if (!o.snapshot.empty()) {
+        auto sink = std::make_unique<check::SnapshotSink>(
+            o.snapshot, "gdiffrun", o.snapshotNote);
+        snapshotSink = sink.get();
+        sinks.push_back(std::move(sink));
+    }
     for (auto &s : sinks)
         sweep.addSink(*s);
 
@@ -352,6 +369,13 @@ main(int argc, char **argv)
                          snap.spans.size(), o.traceOut.c_str());
         }
     }
+    if (snapshotSink) {
+        if (!snapshotSink->writeResult().ok())
+            return 1;
+        std::fprintf(stderr, "gdiffrun: wrote snapshot %s\n",
+                     o.snapshot.c_str());
+    }
+
     // The conventional 128+SIGINT code tells callers (and scripts)
     // that the sweep was cut short, not that it failed.
     return s.canceledJobs > 0 ? 130 : 0;

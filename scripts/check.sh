@@ -121,6 +121,46 @@ wait "$DAEMON" || { echo "serving smoke: daemon drain failed"; exit 1; }
 # percentiles from the obs histograms.
 ./build/bench/serve_load --clients=4 --instructions=200000 \
     --warmup=20000 --json=build/BENCH_serve.json
+# Blind-spot mining smoke: both documented default pairs must find,
+# shrink, and cluster at least one disagreement, and the full report
+# (table, digests, JSONL, artifacts) must be bit-identical across a
+# rerun and across thread counts.
+rm -rf build/mine-artifacts && mkdir -p build/mine-artifacts
+./build/examples/gdiffmine --records=1024 --rounds=6 --restarts=4 \
+    --seed=1 --threads=1 --jsonl=build/mine1.jsonl \
+    --artifacts=build/mine-artifacts > build/mine1.txt
+./build/examples/gdiffmine --records=1024 --rounds=6 --restarts=4 \
+    --seed=1 --threads=4 --jsonl=build/mine2.jsonl > build/mine2.txt
+grep 'report digest:' build/mine1.txt > build/mine1.digests
+grep 'report digest:' build/mine2.txt > build/mine2.digests
+cmp build/mine1.digests build/mine2.digests || {
+    echo "gdiffmine: report digests differ across thread counts"
+    diff build/mine1.digests build/mine2.digests; exit 1; }
+cmp build/mine1.jsonl build/mine2.jsonl || {
+    echo "gdiffmine: cluster JSONL differs across thread counts"
+    exit 1; }
+ls build/mine-artifacts/*.gdtr > /dev/null || {
+    echo "gdiffmine: no replayable cluster artifacts written"
+    exit 1; }
+# Metric-surface snapshot gate: freeze a sweep, self-diff (must be
+# empty, exit 0), then inject a 1e-6 ipc perturbation and require the
+# differ to report exactly that metric (exit 1).
+./build/examples/gdiffrun \
+    --grid 'workload=mcf,parser;scheme=baseline,hgvq' \
+    --threads=4 --instructions=100000 --warmup=20000 \
+    --deterministic --no-table --snapshot=build/surface.snap
+./build/examples/gdiffcmp build/surface.snap build/surface.snap || {
+    echo "gdiffcmp: self-diff reported differences"; exit 1; }
+./build/examples/gdiffcmp --perturb=ipc=1e-6 \
+    build/surface.snap build/surface_perturbed.snap
+if ./build/examples/gdiffcmp build/surface.snap \
+    build/surface_perturbed.snap > build/snapdiff.txt; then
+    echo "gdiffcmp: missed an injected 1e-6 ipc perturbation"
+    exit 1
+fi
+grep -q '! metric ipc' build/snapdiff.txt || {
+    echo "gdiffcmp: perturbation diff did not name ipc"
+    cat build/snapdiff.txt; exit 1; }
 # Sampled-simulation gate: on both kernels the stratified sampler
 # must cut wall clock >= 10x against a full run of the same spec,
 # and the full run's IPC must land inside the (1.5x-widened) sampled

@@ -37,6 +37,38 @@ struct Site
 
 } // anonymous namespace
 
+namespace {
+
+/**
+ * Draw a behavior honoring cfg.behaviorWeights. All-equal weights use
+ * the historical uniform draw so that every pre-existing (seed,
+ * config) pair still produces the exact same stream.
+ */
+Behavior
+pickBehavior(Xorshift64Star &rng, const FuzzStreamConfig &cfg)
+{
+    uint64_t total = 0;
+    bool equal = true;
+    for (unsigned w : cfg.behaviorWeights) {
+        total += w;
+        equal = equal && w == cfg.behaviorWeights[0];
+    }
+    GDIFF_ASSERT(total > 0, "fuzz behavior weights must not all be 0");
+    if (equal) {
+        return static_cast<Behavior>(rng.below(
+            static_cast<uint64_t>(Behavior::NumBehaviors)));
+    }
+    uint64_t pick = rng.below(total);
+    for (unsigned b = 0; b < kFuzzBehaviors; ++b) {
+        if (pick < cfg.behaviorWeights[b])
+            return static_cast<Behavior>(b);
+        pick -= cfg.behaviorWeights[b];
+    }
+    return Behavior::Noise; // unreachable
+}
+
+} // anonymous namespace
+
 std::vector<FuzzRecord>
 fuzzValueStream(const FuzzStreamConfig &cfg)
 {
@@ -50,8 +82,7 @@ fuzzValueStream(const FuzzStreamConfig &cfg)
         // table indexing both see realistic addresses.
         s.pc = isa::textBase +
                isa::instBytes * (1 + rng.below(1 << 16));
-        s.behavior = static_cast<Behavior>(
-            rng.below(static_cast<uint64_t>(Behavior::NumBehaviors)));
+        s.behavior = pickBehavior(rng, cfg);
         // Some sites live near the int64 edges: stride updates there
         // must wrap in two's complement exactly like the hardware.
         if (rng.chancePercent(cfg.wideValuePercent)) {

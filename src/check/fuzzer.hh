@@ -24,6 +24,7 @@
 #ifndef GDIFF_CHECK_FUZZER_HH
 #define GDIFF_CHECK_FUZZER_HH
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -33,6 +34,11 @@
 
 namespace gdiff {
 namespace check {
+
+/// Number of site behavior classes fuzzValueStream mixes (constant,
+/// stride, periodic, global follower, lagged mirror, noise — in that
+/// order, matching FuzzStreamConfig::behaviorWeights).
+inline constexpr unsigned kFuzzBehaviors = 6;
 
 /** Parameters of a fuzzed value stream. */
 struct FuzzStreamConfig
@@ -44,6 +50,14 @@ struct FuzzStreamConfig
     /// percent of sites that produce values near the int64 edges,
     /// stressing two's-complement wrap in stride arithmetic
     unsigned wideValuePercent = 25;
+    /// Relative weight of each behavior class when assigning sites:
+    /// {constant, stride, periodic, follower, mirror, noise}. The
+    /// disagreement miner (src/check/mine.hh) hill-climbs over this
+    /// mix; all-equal weights reproduce the historical uniform site
+    /// assignment bit-for-bit, so existing seeds keep their digests.
+    /// At least one weight must be non-zero.
+    std::array<unsigned, kFuzzBehaviors> behaviorWeights{1, 1, 1,
+                                                         1, 1, 1};
 };
 
 /** Generate a deterministic fuzzed (pc, value) stream. */

@@ -1,6 +1,7 @@
 #include "check/shrink.hh"
 
 #include <algorithm>
+#include <memory>
 
 #include "isa/instruction.hh"
 #include "util/logging.hh"
@@ -91,6 +92,33 @@ readReproArtifact(const std::string &path)
             stream.push_back(FuzzRecord{r.pc, r.value});
     }
     return stream;
+}
+
+bool
+readReproArtifactOr(const std::string &path,
+                    std::vector<FuzzRecord> &stream,
+                    workload::TraceIoResult *result)
+{
+    workload::TraceFileReader reader;
+    workload::TraceIoResult r = reader.open(path);
+    std::vector<FuzzRecord> records;
+    auto chunk = std::make_unique<workload::TraceChunk>();
+    while (r.ok()) {
+        r = reader.read(*chunk);
+        if (!r.ok())
+            break;
+        for (uint32_t i = 0; i < chunk->size; ++i) {
+            if (chunk->producesValue(i))
+                records.push_back(
+                    FuzzRecord{chunk->pc[i], chunk->value[i]});
+        }
+    }
+    if (result)
+        *result = r;
+    if (!r.end())
+        return false;
+    stream = std::move(records);
+    return true;
 }
 
 } // namespace check

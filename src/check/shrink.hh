@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "check/differ.hh"
+#include "workload/trace_io.hh"
 
 namespace gdiff {
 namespace check {
@@ -63,6 +64,19 @@ void writeReproArtifact(const std::string &path,
  * v2 file works: only value-producing records are kept.
  */
 std::vector<FuzzRecord> readReproArtifact(const std::string &path);
+
+/**
+ * Typed-error form of readReproArtifact() for untrusted artifacts
+ * (gdifffuzz --replay takes arbitrary user paths): a missing,
+ * corrupt, truncated, or wrong-version file comes back as the
+ * TraceIoResult instead of fatal().
+ *
+ * @return true with the records in @p stream; false with @p result
+ * (if non-null) holding the typed status and message.
+ */
+bool readReproArtifactOr(const std::string &path,
+                         std::vector<FuzzRecord> &stream,
+                         workload::TraceIoResult *result = nullptr);
 
 } // namespace check
 } // namespace gdiff

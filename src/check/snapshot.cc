@@ -1,0 +1,377 @@
+#include "check/snapshot.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "util/json.hh"
+#include "util/logging.hh"
+
+namespace gdiff {
+namespace check {
+
+namespace {
+
+constexpr uint64_t kFnvBasis = 0xcbf29ce484222325ull;
+constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+
+uint64_t
+fnvLine(uint64_t h, const std::string &line)
+{
+    for (unsigned char c : line) {
+        h ^= c;
+        h *= kFnvPrime;
+    }
+    // Terminate each line so concatenation ambiguity can't collide.
+    h ^= '\n';
+    h *= kFnvPrime;
+    return h;
+}
+
+SnapshotResult
+failure(SnapshotStatus status, std::string message)
+{
+    return SnapshotResult{status, std::move(message)};
+}
+
+} // anonymous namespace
+
+const char *
+snapshotStatusName(SnapshotStatus s)
+{
+    switch (s) {
+      case SnapshotStatus::Ok:
+        return "ok";
+      case SnapshotStatus::IoError:
+        return "io_error";
+      case SnapshotStatus::Parse:
+        return "parse_error";
+      case SnapshotStatus::BadFormat:
+        return "bad_format";
+      case SnapshotStatus::BadVersion:
+        return "bad_version";
+      case SnapshotStatus::DigestMismatch:
+        return "digest_mismatch";
+    }
+    return "unknown";
+}
+
+void
+Snapshot::canonicalize()
+{
+    std::sort(jobs.begin(), jobs.end(),
+              [](const runner::JobRecord &a,
+                 const runner::JobRecord &b) {
+                  return a.spec.key() < b.spec.key();
+              });
+}
+
+uint64_t
+Snapshot::digest() const
+{
+    uint64_t h = kFnvBasis;
+    for (const runner::JobRecord &job : jobs)
+        h = fnvLine(h, runner::JsonlSink::deterministicJson(job));
+    return h;
+}
+
+SnapshotResult
+writeSnapshot(Snapshot &snap, const std::string &path)
+{
+    snap.canonicalize();
+    std::string doc = "{\"format\":\"gdiff-snapshot\",\"version\":" +
+                      std::to_string(snapshotVersion);
+    doc += ",\"tool\":\"" + json::escape(snap.tool) + "\"";
+    doc += ",\"note\":\"" + json::escape(snap.note) + "\"";
+    doc += formatString(",\"digest\":\"%016" PRIx64 "\"",
+                        snap.digest());
+    doc += ",\"jobs\":[";
+    for (size_t i = 0; i < snap.jobs.size(); ++i) {
+        if (i)
+            doc += ',';
+        doc += "\n";
+        doc += runner::JsonlSink::deterministicJson(snap.jobs[i]);
+    }
+    doc += "\n]}\n";
+
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return failure(SnapshotStatus::IoError,
+                       "cannot create '" + path + "'");
+    bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+    ok = std::fclose(f) == 0 && ok;
+    if (!ok)
+        return failure(SnapshotStatus::IoError,
+                       "short write to '" + path + "'");
+    return SnapshotResult{};
+}
+
+SnapshotResult
+readSnapshot(const std::string &path, Snapshot &out)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return failure(SnapshotStatus::IoError,
+                       "cannot open '" + path + "'");
+    std::string text;
+    char buf[1 << 16];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, n);
+    bool readOk = !std::ferror(f);
+    std::fclose(f);
+    if (!readOk)
+        return failure(SnapshotStatus::IoError,
+                       "read error on '" + path + "'");
+
+    json::Value root;
+    std::string parseError;
+    if (!json::parse(text, root, &parseError))
+        return failure(SnapshotStatus::Parse,
+                       path + ": " + parseError);
+    if (!root.isObject())
+        return failure(SnapshotStatus::BadFormat,
+                       path + ": root is not an object");
+    const json::Value *format = root.find("format");
+    if (!format || !format->isString() ||
+        format->str != "gdiff-snapshot")
+        return failure(SnapshotStatus::BadFormat,
+                       path + ": not a gdiff-snapshot document");
+    const json::Value *version = root.find("version");
+    if (!version || !version->isNumber())
+        return failure(SnapshotStatus::BadFormat,
+                       path + ": missing numeric 'version'");
+    if (version->number < 1 || version->number > snapshotVersion)
+        return failure(
+            SnapshotStatus::BadVersion,
+            formatString("%s: version %g unsupported (max %u)",
+                         path.c_str(), version->number,
+                         snapshotVersion));
+    const json::Value *digest = root.find("digest");
+    const json::Value *jobs = root.find("jobs");
+    if (!digest || !digest->isString() || !jobs || !jobs->isArray())
+        return failure(SnapshotStatus::BadFormat,
+                       path +
+                           ": missing 'digest' string or 'jobs' array");
+
+    Snapshot snap;
+    if (const json::Value *tool = root.find("tool");
+        tool && tool->isString())
+        snap.tool = tool->str;
+    if (const json::Value *note = root.find("note");
+        note && note->isString())
+        snap.note = note->str;
+    for (size_t i = 0; i < jobs->array.size(); ++i) {
+        runner::JobRecord rec;
+        std::string recError;
+        if (!runner::parseRecordJson(jobs->array[i], rec, &recError))
+            return failure(SnapshotStatus::BadFormat,
+                           formatString("%s: job %zu: %s",
+                                        path.c_str(), i,
+                                        recError.c_str()));
+        snap.jobs.push_back(std::move(rec));
+    }
+
+    // The stored digest covers the canonical job order; recomputing
+    // it from the re-rendered payloads verifies both the values (17
+    // significant digits round-trip exactly) and the ordering.
+    uint64_t stored = 0;
+    if (std::sscanf(digest->str.c_str(), "%" SCNx64, &stored) != 1 ||
+        digest->str.size() != 16)
+        return failure(SnapshotStatus::BadFormat,
+                       path + ": malformed digest '" + digest->str +
+                           "'");
+    uint64_t computed = snap.digest();
+    if (computed != stored)
+        return failure(
+            SnapshotStatus::DigestMismatch,
+            formatString("%s: digest mismatch: stored %016" PRIx64
+                         " computed %016" PRIx64,
+                         path.c_str(), stored, computed));
+    out = std::move(snap);
+    return SnapshotResult{};
+}
+
+// ----------------------------------------------------- SnapshotSink
+
+SnapshotSink::SnapshotSink(std::string path, std::string tool,
+                           std::string note)
+    : path(std::move(path))
+{
+    snap.tool = std::move(tool);
+    snap.note = std::move(note);
+}
+
+void
+SnapshotSink::onJob(const runner::JobRecord &record)
+{
+    snap.jobs.push_back(record);
+}
+
+void
+SnapshotSink::finish()
+{
+    result = writeSnapshot(snap, path);
+    if (!result.ok())
+        warn("snapshot: %s", result.message.c_str());
+}
+
+// ------------------------------------------------------------- diff
+
+namespace {
+
+/** The tolerance that applies to @p metric. */
+double
+toleranceFor(const SnapshotDiffOptions &opts, const std::string &m)
+{
+    auto it = opts.metricTolerance.find(m);
+    return it != opts.metricTolerance.end() ? it->second
+                                            : opts.defaultTolerance;
+}
+
+bool
+isIntervalColumn(const std::string &name)
+{
+    auto ends = [&name](const char *suffix) {
+        size_t len = std::strlen(suffix);
+        return name.size() > len &&
+               name.compare(name.size() - len, len, suffix) == 0;
+    };
+    return ends("_ci_lo") || ends("_ci_hi");
+}
+
+/** @return the [lo, hi] interval for @p metric, if both bounds exist. */
+bool
+intervalFor(const runner::JobResult &r, const std::string &metric,
+            double &lo, double &hi)
+{
+    bool haveLo = false, haveHi = false;
+    for (const auto &[name, value] : r.metrics) {
+        if (name == metric + "_ci_lo") {
+            lo = value;
+            haveLo = true;
+        } else if (name == metric + "_ci_hi") {
+            hi = value;
+            haveHi = true;
+        }
+    }
+    return haveLo && haveHi;
+}
+
+} // anonymous namespace
+
+SnapshotDiff
+diffSnapshots(const Snapshot &oldSnap, const Snapshot &newSnap,
+              const SnapshotDiffOptions &opts)
+{
+    std::map<std::string, const runner::JobRecord *> oldByKey,
+        newByKey;
+    for (const auto &job : oldSnap.jobs)
+        oldByKey[job.spec.key()] = &job;
+    for (const auto &job : newSnap.jobs)
+        newByKey[job.spec.key()] = &job;
+
+    SnapshotDiff diff;
+    for (const auto &[key, job] : newByKey) {
+        (void)job;
+        if (!oldByKey.count(key))
+            diff.added.push_back(key);
+    }
+    for (const auto &[key, oldJob] : oldByKey) {
+        auto it = newByKey.find(key);
+        if (it == newByKey.end()) {
+            diff.removed.push_back(key);
+            continue;
+        }
+        const runner::JobRecord *newJob = it->second;
+
+        // The union of both sides' metric names, in old-then-new
+        // first-appearance order (stable and side-symmetric enough:
+        // metric sets rarely differ, and when they do both show up).
+        std::vector<std::string> names;
+        auto collect = [&names](const runner::JobResult &r) {
+            for (const auto &[name, value] : r.metrics) {
+                (void)value;
+                if (std::find(names.begin(), names.end(), name) ==
+                    names.end())
+                    names.push_back(name);
+            }
+        };
+        collect(oldJob->result);
+        collect(newJob->result);
+
+        for (const std::string &name : names) {
+            // Interval bounds are judged through their base metric's
+            // overlap test, not as standalone numbers.
+            if (isIntervalColumn(name))
+                continue;
+            bool oldHas = false, newHas = false;
+            double oldV = 0, newV = 0;
+            for (const auto &[n, v] : oldJob->result.metrics)
+                if (n == name) {
+                    oldHas = true;
+                    oldV = v;
+                }
+            for (const auto &[n, v] : newJob->result.metrics)
+                if (n == name) {
+                    newHas = true;
+                    newV = v;
+                }
+            if (oldHas && newHas) {
+                double tol = toleranceFor(opts, name);
+                if (!(std::fabs(newV - oldV) > tol))
+                    continue;
+                if (opts.useIntervals) {
+                    double oldLo, oldHi, newLo, newHi;
+                    if (intervalFor(oldJob->result, name, oldLo,
+                                    oldHi) &&
+                        intervalFor(newJob->result, name, newLo,
+                                    newHi) &&
+                        oldLo <= newHi && newLo <= oldHi) {
+                        ++diff.intervalSuppressed;
+                        continue;
+                    }
+                }
+            }
+            diff.deltas.push_back(
+                MetricDelta{key, name, oldHas, newHas, oldV, newV});
+        }
+    }
+    return diff;
+}
+
+void
+printSnapshotDiff(const SnapshotDiff &diff, std::ostream &os)
+{
+    for (const std::string &key : diff.removed)
+        os << "- config " << key << "\n";
+    for (const std::string &key : diff.added)
+        os << "+ config " << key << "\n";
+    for (const MetricDelta &d : diff.deltas) {
+        if (!d.oldPresent) {
+            os << "+ metric " << d.metric << " [" << d.key
+               << "]: " << formatString("%.17g", d.newValue) << "\n";
+        } else if (!d.newPresent) {
+            os << "- metric " << d.metric << " [" << d.key
+               << "]: " << formatString("%.17g", d.oldValue) << "\n";
+        } else {
+            os << "! metric " << d.metric << " [" << d.key << "]: "
+               << formatString("%.17g -> %.17g (delta %.3g)",
+                               d.oldValue, d.newValue,
+                               d.newValue - d.oldValue)
+               << "\n";
+        }
+    }
+    if (diff.intervalSuppressed) {
+        os << "(" << diff.intervalSuppressed
+           << " metric move(s) within overlapping confidence "
+              "intervals)\n";
+    }
+    if (diff.empty())
+        os << "snapshots match\n";
+}
+
+} // namespace check
+} // namespace gdiff

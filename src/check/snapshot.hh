@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Metric-surface snapshots: freeze any sweep's full result set as a
+ * versioned, content-digested artifact, and semantically diff two
+ * such artifacts (diffkemp's snapshot/semdiff design applied to the
+ * runner's metric surface).
+ *
+ * A snapshot is one JSON document whose `jobs` array holds exactly
+ * the JSON-lines sink's deterministic payloads, sorted by JobSpec
+ * key. Because the payloads print doubles with %.17g (lossless
+ * round-trip) and the reader rebuilds each record with
+ * runner::parseRecordJson, the content digest can be *recomputed*
+ * from a parsed file and compared against the stored one — a
+ * tampered or truncated snapshot is rejected with a typed status, and
+ * two snapshots of the same sweep are byte-identical regardless of
+ * thread count or whether the daemon ran the jobs.
+ *
+ * Diffing two snapshots keys jobs by spec identity and reports (a)
+ * configs only one side has and (b) per-metric deltas beyond a
+ * per-metric tolerance. Sampled metrics carry their 95% intervals as
+ * `<metric>_ci_lo`/`<metric>_ci_hi` columns: a delta on such a metric
+ * only fires when the two intervals do not overlap, so a re-sampled
+ * sweep does not page anyone over estimator noise.
+ */
+
+#ifndef GDIFF_CHECK_SNAPSHOT_HH
+#define GDIFF_CHECK_SNAPSHOT_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "runner/sinks.hh"
+
+namespace gdiff {
+namespace check {
+
+/// current snapshot file format version
+inline constexpr uint32_t snapshotVersion = 1;
+
+/** What a snapshot read/write attempt concluded. */
+enum class SnapshotStatus
+{
+    Ok,
+    IoError,        ///< open/read/write failed at the OS level
+    Parse,          ///< not valid JSON
+    BadFormat,      ///< not a gdiff-snapshot document / bad field
+    BadVersion,     ///< version newer than this reader understands
+    DigestMismatch, ///< recomputed digest != stored digest
+};
+
+/** @return a stable lowercase name for @p s (logs, tests). */
+const char *snapshotStatusName(SnapshotStatus s);
+
+/** A status plus a human-readable message for the error cases. */
+struct SnapshotResult
+{
+    SnapshotStatus status = SnapshotStatus::Ok;
+    std::string message;
+
+    bool ok() const { return status == SnapshotStatus::Ok; }
+};
+
+/** An in-memory metric surface: one record per swept config. */
+struct Snapshot
+{
+    std::string tool; ///< producing tool, freeform ("gdiffrun")
+    std::string note; ///< freeform label (commit id, sweep name)
+    std::vector<runner::JobRecord> jobs;
+
+    /** Sort jobs by spec key — the canonical order digest() hashes. */
+    void canonicalize();
+
+    /**
+     * @return the content digest: FNV-1a over each job's
+     * deterministic payload in canonical order. Canonicalize first.
+     */
+    uint64_t digest() const;
+};
+
+/** Write @p snap to @p path (canonicalizes the job order first). */
+SnapshotResult writeSnapshot(Snapshot &snap, const std::string &path);
+
+/**
+ * Read and verify a snapshot. Every failure is a typed status —
+ * snapshot files cross machines and commits, so the reader treats
+ * them as untrusted input and never fatals.
+ */
+SnapshotResult readSnapshot(const std::string &path, Snapshot &out);
+
+/**
+ * A runner sink that freezes the sweep it observes. Attach with
+ * SweepRunner::addSink (gdiffrun --snapshot=FILE does); the file is
+ * written at finish(), and writeResult() reports how that went.
+ */
+class SnapshotSink : public runner::ResultSink
+{
+  public:
+    explicit SnapshotSink(std::string path, std::string tool = "",
+                          std::string note = "");
+
+    void onJob(const runner::JobRecord &record) override;
+    void finish() override;
+
+    /** @return the write outcome (valid after finish()). */
+    const SnapshotResult &writeResult() const { return result; }
+
+  private:
+    std::string path;
+    Snapshot snap;
+    SnapshotResult result;
+};
+
+/** Knobs for diffSnapshots(). */
+struct SnapshotDiffOptions
+{
+    /// |new - old| must exceed this to count as a delta
+    double defaultTolerance = 0.0;
+    /// per-metric overrides of defaultTolerance
+    std::map<std::string, double> metricTolerance;
+    /// suppress a delta when both sides carry overlapping
+    /// `<metric>_ci_lo`/`_ci_hi` intervals
+    bool useIntervals = true;
+};
+
+/** One metric that moved beyond tolerance on a shared config. */
+struct MetricDelta
+{
+    std::string key;    ///< the config's spec key
+    std::string metric;
+    bool oldPresent = false, newPresent = false;
+    double oldValue = 0, newValue = 0;
+};
+
+/** The semantic difference between two snapshots. */
+struct SnapshotDiff
+{
+    std::vector<std::string> added;   ///< keys only the new side has
+    std::vector<std::string> removed; ///< keys only the old side has
+    std::vector<MetricDelta> deltas;
+    /// deltas suppressed because the sides' intervals overlap
+    size_t intervalSuppressed = 0;
+
+    bool
+    empty() const
+    {
+        return added.empty() && removed.empty() && deltas.empty();
+    }
+};
+
+/** Compare two snapshots config-by-config, metric-by-metric. */
+SnapshotDiff diffSnapshots(const Snapshot &oldSnap,
+                           const Snapshot &newSnap,
+                           const SnapshotDiffOptions &opts = {});
+
+/** Render the diff for humans (one line per change). */
+void printSnapshotDiff(const SnapshotDiff &diff, std::ostream &os);
+
+} // namespace check
+} // namespace gdiff
+
+#endif // GDIFF_CHECK_SNAPSHOT_HH

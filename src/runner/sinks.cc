@@ -55,7 +55,118 @@ jsonDouble(double v)
     return buf;
 }
 
+/** Fetch a numeric member or report which one is bad. */
+bool
+numberField(const json::Value &obj, const char *key, double &out,
+            std::string *error)
+{
+    const json::Value *v = obj.find(key);
+    if (!v || !v->isNumber()) {
+        if (error)
+            *error = std::string("record: missing or non-numeric "
+                                 "field '") +
+                     key + "'";
+        return false;
+    }
+    out = v->number;
+    return true;
+}
+
 } // anonymous namespace
+
+bool
+parseRecordJson(const json::Value &record, JobRecord &out,
+                std::string *error)
+{
+    if (!record.isObject()) {
+        if (error)
+            *error = "record: not an object";
+        return false;
+    }
+    const json::Value *wl = record.find("workload");
+    const json::Value *mode = record.find("mode");
+    if (!wl || !wl->isString() || !mode || !mode->isString()) {
+        if (error)
+            *error = "record: needs string 'workload' and 'mode'";
+        return false;
+    }
+    JobSpec spec;
+    spec.workload = wl->str;
+    if (mode->str == "profile") {
+        spec.mode = JobMode::Profile;
+        const json::Value *p = record.find("predictor");
+        if (!p || !p->isString()) {
+            if (error)
+                *error = "record: profile record needs 'predictor'";
+            return false;
+        }
+        spec.predictor = p->str;
+    } else if (mode->str == "pipeline") {
+        spec.mode = JobMode::Pipeline;
+        const json::Value *s = record.find("scheme");
+        if (!s || !s->isString()) {
+            if (error)
+                *error = "record: pipeline record needs 'scheme'";
+            return false;
+        }
+        spec.scheme = s->str;
+    } else {
+        if (error)
+            *error = "record: unknown mode '" + mode->str + "'";
+        return false;
+    }
+
+    double order, table, seed, instructions, warmup, index;
+    if (!numberField(record, "order", order, error) ||
+        !numberField(record, "table", table, error) ||
+        !numberField(record, "seed", seed, error) ||
+        !numberField(record, "instructions", instructions, error) ||
+        !numberField(record, "warmup", warmup, error) ||
+        !numberField(record, "index", index, error))
+        return false;
+    spec.order = static_cast<unsigned>(order);
+    spec.tableEntries = static_cast<uint64_t>(table);
+    spec.seed = static_cast<uint64_t>(seed);
+    spec.instructions = static_cast<uint64_t>(instructions);
+    spec.warmup = static_cast<uint64_t>(warmup);
+
+    // Sample fields appear iff the producing spec sampled(); a budget
+    // present without the other two knobs is malformed.
+    if (record.find("sample_budget")) {
+        double budget, window, sseed;
+        if (!numberField(record, "sample_budget", budget, error) ||
+            !numberField(record, "sample_window", window, error) ||
+            !numberField(record, "sample_seed", sseed, error))
+            return false;
+        spec.sampleBudget = static_cast<uint64_t>(budget);
+        spec.sampleWindow = static_cast<uint64_t>(window);
+        spec.sampleSeed = static_cast<uint64_t>(sseed);
+    }
+
+    const json::Value *metrics = record.find("metrics");
+    if (!metrics || !metrics->isObject()) {
+        if (error)
+            *error = "record: needs a 'metrics' object";
+        return false;
+    }
+    JobResult result;
+    // Document order is insertion order, so the rebuilt metrics list
+    // matches the producing job's exactly.
+    for (const auto &[name, value] : metrics->object) {
+        if (!value.isNumber()) {
+            if (error)
+                *error =
+                    "record: metric '" + name + "' is not a number";
+            return false;
+        }
+        result.metrics.emplace_back(name, value.number);
+    }
+
+    out.index = static_cast<size_t>(index);
+    out.spec = std::move(spec);
+    out.result = std::move(result);
+    return true;
+}
 
 // --------------------------------------------------- CollectingSink
 
@@ -209,9 +320,22 @@ JsonlSink::deterministicJson(const JobRecord &record)
     std::snprintf(buf, sizeof(buf),
                   ",\"order\":%u,\"table\":%" PRIu64
                   ",\"seed\":%" PRIu64 ",\"instructions\":%" PRIu64
-                  ",\"warmup\":%" PRIu64 ",\"index\":%zu",
+                  ",\"warmup\":%" PRIu64,
                   s.order, s.tableEntries, s.seed, s.instructions,
-                  s.warmup, record.index);
+                  s.warmup);
+    out += buf;
+    // Sampling knobs are part of the deterministic identity exactly
+    // when they change what the job computes (mirrors JobSpec::key):
+    // full-trace payloads stay byte-identical to the pre-sampling era.
+    if (s.sampled()) {
+        std::snprintf(buf, sizeof(buf),
+                      ",\"sample_budget\":%" PRIu64
+                      ",\"sample_window\":%" PRIu64
+                      ",\"sample_seed\":%" PRIu64,
+                      s.sampleBudget, s.sampleWindow, s.sampleSeed);
+        out += buf;
+    }
+    std::snprintf(buf, sizeof(buf), ",\"index\":%zu", record.index);
     out += buf;
     out += ",\"metrics\":{";
     bool first = true;

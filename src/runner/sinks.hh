@@ -22,9 +22,25 @@
 
 #include "runner/job.hh"
 #include "stats/table.hh"
+#include "util/json.hh"
 
 namespace gdiff {
 namespace runner {
+
+/**
+ * Rebuild a JobRecord (spec, index, metrics) from a parsed
+ * deterministic-payload object — the exact inverse of
+ * JsonlSink::deterministicJson, shared by the serve client and the
+ * snapshot reader. Re-rendering the result through deterministicJson
+ * reproduces the producing line byte-for-byte (%.17g doubles
+ * round-trip exactly). Timing metadata is not part of the payload and
+ * is left at defaults.
+ *
+ * @return true on success; false with @p error (if non-null) naming
+ * the missing or malformed field.
+ */
+bool parseRecordJson(const json::Value &record, JobRecord &out,
+                     std::string *error = nullptr);
 
 /** Consumer of completed jobs. */
 class ResultSink

@@ -201,27 +201,6 @@ sweepDoneMessage(uint64_t sweep, size_t jobs, size_t generated,
     return buf;
 }
 
-namespace {
-
-/** Fetch a numeric member or report which one is bad. */
-bool
-numberField(const json::Value &obj, const char *key, double &out,
-            std::string *error)
-{
-    const json::Value *v = obj.find(key);
-    if (!v || !v->isNumber()) {
-        if (error)
-            *error = std::string("job frame: missing or non-numeric "
-                                 "field '") +
-                     key + "'";
-        return false;
-    }
-    out = v->number;
-    return true;
-}
-
-} // anonymous namespace
-
 bool
 parseJobFrame(const json::Value &frame, runner::JobRecord &out,
               std::string *error)
@@ -233,92 +212,30 @@ parseJobFrame(const json::Value &frame, runner::JobRecord &out,
         return false;
     }
 
-    const json::Value *wl = record->find("workload");
-    const json::Value *mode = record->find("mode");
-    if (!wl || !wl->isString() || !mode || !mode->isString()) {
+    // The record object is exactly the deterministic payload; its
+    // inverse lives next to the producer (runner/sinks.cc) so sampled
+    // specs, metrics order, and any future payload field stay in one
+    // place.
+    if (!runner::parseRecordJson(*record, out, error)) {
         if (error)
-            *error = "job frame: record needs string 'workload' and "
-                     "'mode'";
+            *error = "job frame: " + *error;
         return false;
-    }
-    runner::JobSpec spec;
-    spec.workload = wl->str;
-    if (mode->str == "profile") {
-        spec.mode = runner::JobMode::Profile;
-        const json::Value *p = record->find("predictor");
-        if (!p || !p->isString()) {
-            if (error)
-                *error = "job frame: profile record needs "
-                         "'predictor'";
-            return false;
-        }
-        spec.predictor = p->str;
-    } else if (mode->str == "pipeline") {
-        spec.mode = runner::JobMode::Pipeline;
-        const json::Value *s = record->find("scheme");
-        if (!s || !s->isString()) {
-            if (error)
-                *error = "job frame: pipeline record needs 'scheme'";
-            return false;
-        }
-        spec.scheme = s->str;
-    } else {
-        if (error)
-            *error = "job frame: unknown mode '" + mode->str + "'";
-        return false;
-    }
-
-    double order, table, seed, instructions, warmup, index;
-    if (!numberField(*record, "order", order, error) ||
-        !numberField(*record, "table", table, error) ||
-        !numberField(*record, "seed", seed, error) ||
-        !numberField(*record, "instructions", instructions, error) ||
-        !numberField(*record, "warmup", warmup, error) ||
-        !numberField(*record, "index", index, error))
-        return false;
-    spec.order = static_cast<unsigned>(order);
-    spec.tableEntries = static_cast<uint64_t>(table);
-    spec.seed = static_cast<uint64_t>(seed);
-    spec.instructions = static_cast<uint64_t>(instructions);
-    spec.warmup = static_cast<uint64_t>(warmup);
-
-    const json::Value *metrics = record->find("metrics");
-    if (!metrics || !metrics->isObject()) {
-        if (error)
-            *error = "job frame: record needs a 'metrics' object";
-        return false;
-    }
-    runner::JobResult result;
-    // Document order is insertion order, so the rebuilt metrics list
-    // matches the producing job's exactly.
-    for (const auto &[name, value] : metrics->object) {
-        if (!value.isNumber()) {
-            if (error)
-                *error = "job frame: metric '" + name +
-                         "' is not a number";
-            return false;
-        }
-        result.metrics.emplace_back(name, value.number);
     }
 
     // Timing metadata rides outside the record; tolerate absence so
     // older daemons stay readable.
     if (const json::Value *v = frame.find("wall_seconds");
         v && v->isNumber())
-        result.wallSeconds = v->number;
+        out.result.wallSeconds = v->number;
     if (const json::Value *v = frame.find("instructions_per_sec");
         v && v->isNumber())
-        result.instructionsPerSec = v->number;
+        out.result.instructionsPerSec = v->number;
     if (const json::Value *v = frame.find("trace_source");
         v && v->isString())
-        result.traceReplayed = v->str == "replay";
+        out.result.traceReplayed = v->str == "replay";
     if (const json::Value *v = frame.find("trace_generate_seconds");
         v && v->isNumber())
-        result.traceGenerateSeconds = v->number;
-
-    out.index = static_cast<size_t>(index);
-    out.spec = std::move(spec);
-    out.result = std::move(result);
+        out.result.traceGenerateSeconds = v->number;
     return true;
 }
 

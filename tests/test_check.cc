@@ -230,6 +230,96 @@ TEST(ArtifactTest, NameEncodesPairAndSeed)
               "gdifffuzz_fcm_seed7.gdtr");
 }
 
+TEST(ArtifactTest, TypedReaderRoundTripsGoodArtifacts)
+{
+    FuzzStreamConfig cfg;
+    cfg.seed = 23;
+    cfg.records = 150;
+    std::vector<FuzzRecord> stream = fuzzValueStream(cfg);
+    std::string path =
+        std::string(::testing::TempDir()) + "repro_typed.gdtr";
+    writeReproArtifact(path, stream);
+    std::vector<FuzzRecord> back;
+    workload::TraceIoResult io;
+    ASSERT_TRUE(readReproArtifactOr(path, back, &io));
+    EXPECT_EQ(io.status, workload::TraceIoStatus::End);
+    EXPECT_EQ(back, stream);
+    std::remove(path.c_str());
+}
+
+TEST(ArtifactTest, TypedReaderReportsCorruptionInsteadOfDying)
+{
+    // Regression: gdifffuzz --replay used to fatal() inside
+    // TraceFileSource on a damaged artifact. The typed reader must
+    // return the failure status and leave the process alive.
+    FuzzStreamConfig cfg;
+    cfg.seed = 29;
+    cfg.records = 150;
+    std::vector<FuzzRecord> stream = fuzzValueStream(cfg);
+    std::string good =
+        std::string(::testing::TempDir()) + "repro_good.gdtr";
+    writeReproArtifact(good, stream);
+
+    FILE *f = fopen(good.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    fseek(f, 0, SEEK_END);
+    long size = ftell(f);
+    fseek(f, 0, SEEK_SET);
+    std::string bytes(static_cast<size_t>(size), '\0');
+    ASSERT_EQ(fread(bytes.data(), 1, bytes.size(), f), bytes.size());
+    fclose(f);
+
+    std::vector<FuzzRecord> back;
+    workload::TraceIoResult io;
+
+    // Flip a byte in the middle of the payload: digest/corruption.
+    std::string flipped = bytes;
+    flipped[flipped.size() / 2] ^= 0x5a;
+    std::string bad =
+        std::string(::testing::TempDir()) + "repro_bad.gdtr";
+    {
+        FILE *w = fopen(bad.c_str(), "wb");
+        ASSERT_NE(w, nullptr);
+        fwrite(flipped.data(), 1, flipped.size(), w);
+        fclose(w);
+    }
+    EXPECT_FALSE(readReproArtifactOr(bad, back, &io));
+    EXPECT_NE(io.status, workload::TraceIoStatus::End);
+    EXPECT_NE(io.status, workload::TraceIoStatus::Ok);
+
+    // Truncate to half: a clean typed Truncated/IoError, not a
+    // fatal.
+    std::string half = bytes.substr(0, bytes.size() / 2);
+    {
+        FILE *w = fopen(bad.c_str(), "wb");
+        ASSERT_NE(w, nullptr);
+        fwrite(half.data(), 1, half.size(), w);
+        fclose(w);
+    }
+    back.clear();
+    EXPECT_FALSE(readReproArtifactOr(bad, back, &io));
+    EXPECT_NE(io.status, workload::TraceIoStatus::End);
+
+    // Not a trace file at all.
+    {
+        FILE *w = fopen(bad.c_str(), "wb");
+        ASSERT_NE(w, nullptr);
+        fputs("definitely not a trace", w);
+        fclose(w);
+    }
+    back.clear();
+    EXPECT_FALSE(readReproArtifactOr(bad, back, &io));
+    EXPECT_EQ(io.status, workload::TraceIoStatus::BadMagic);
+
+    // Missing file.
+    EXPECT_FALSE(readReproArtifactOr(
+        "/nonexistent-dir/repro.gdtr", back, &io));
+    EXPECT_EQ(io.status, workload::TraceIoStatus::IoError);
+
+    std::remove(good.c_str());
+    std::remove(bad.c_str());
+}
+
 // ------------------------------------------- pipeline invariants
 
 TEST(PipelineInvariantTest, FuzzedProgramsHoldAllInvariants)

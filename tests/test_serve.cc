@@ -24,6 +24,7 @@
 #include "runner/runner.hh"
 #include "runner/sinks.hh"
 #include "runner/sweep_spec.hh"
+#include "sample/sample.hh"
 #include "serve/client.hh"
 #include "serve/daemon.hh"
 #include "serve/protocol.hh"
@@ -211,6 +212,60 @@ TEST(JobFrameTest, RecordSurvivesTheWireExactly)
               runner::JsonlSink::deterministicJson(rec));
 }
 
+TEST(JobFrameTest, SampledRecordSurvivesTheWireExactly)
+{
+    // A sampled job's spec carries the sample_* knobs and its metrics
+    // carry interval columns; both must survive the frame round trip
+    // so remote sampled sweeps diff cleanly against local ones.
+    runner::JobSpec spec;
+    spec.workload = "micro.stride";
+    spec.predictor = "gdiff";
+    spec.instructions = 100000;
+    spec.warmup = 20000;
+    spec.sampleBudget = 30000;
+    spec.sampleWindow = 4096;
+    spec.sampleSeed = 3;
+    runner::JobResult res;
+    res.metrics = {{"accuracy", 0.125},
+                   {"accuracy_ci_lo", 0.121},
+                   {"accuracy_ci_hi", 0.129}};
+    runner::JobRecord rec{2, spec, res};
+
+    std::string line = runner::JsonlSink::deterministicJson(rec);
+    ASSERT_NE(line.find("\"sample_budget\":30000"),
+              std::string::npos);
+
+    json::Value frame;
+    std::string error;
+    ASSERT_TRUE(json::parse(jobMessage(1, rec), frame, &error))
+        << error;
+    runner::JobRecord back;
+    ASSERT_TRUE(parseJobFrame(frame, back, &error)) << error;
+    EXPECT_TRUE(back.spec.sampled());
+    EXPECT_EQ(back.spec.key(), rec.spec.key());
+    EXPECT_EQ(runner::JsonlSink::deterministicJson(back), line);
+}
+
+TEST(JobFrameTest, PartialSampleFieldsAreRejected)
+{
+    // A frame carrying sample_budget without its companion fields is
+    // malformed — parse must fail with a message, not guess defaults.
+    runner::JobSpec spec;
+    spec.sampleBudget = 1000;
+    runner::JobRecord rec{0, spec, runner::JobResult{}};
+    std::string msg = jobMessage(1, rec);
+    size_t pos = msg.find(",\"sample_window\":4096");
+    ASSERT_NE(pos, std::string::npos);
+    msg.erase(pos, strlen(",\"sample_window\":4096"));
+
+    json::Value frame;
+    ASSERT_TRUE(json::parse(msg, frame));
+    runner::JobRecord back;
+    std::string error;
+    EXPECT_FALSE(parseJobFrame(frame, back, &error));
+    EXPECT_NE(error.find("sample"), std::string::npos) << error;
+}
+
 // ------------------------------------------------------- daemon
 
 TEST(DaemonTest, ResultsBitIdenticalToInProcessSweep)
@@ -248,6 +303,119 @@ TEST(DaemonTest, ResultsBitIdenticalToInProcessSweep)
 
     EXPECT_EQ(outcome.jobs, localLines.size());
     EXPECT_EQ(daemonLines, localLines);
+}
+
+TEST(DaemonTest, SampledResultsBitIdenticalToInProcessSweep)
+{
+    // A sampled submit must flow through the daemon to the installed
+    // sampled runner and come back — sample knobs, point estimates,
+    // and CI columns — byte-identical to gdiffrun --sample-budget of
+    // the same grid.
+    sample::install();
+    DaemonConfig cfg;
+    cfg.socketPath = testSocketPath();
+    cfg.workers = 2;
+    Daemon daemon(cfg);
+    std::string error;
+    ASSERT_TRUE(daemon.start(&error)) << error;
+
+    Client client;
+    ASSERT_TRUE(client.connect(cfg.socketPath, &error)) << error;
+    SubmitRequest req;
+    req.grid = kSmallGrid;
+    req.client = "sampled";
+    req.instructions = 100000;
+    req.warmup = 20000;
+    req.sampleBudget = 30000;
+    req.sampleWindow = 4096;
+    req.sampleSeed = 3;
+    ASSERT_TRUE(client.submit(req, &error)) << error;
+    std::vector<std::string> daemonLines;
+    SweepOutcome outcome;
+    ASSERT_TRUE(client.streamResults(
+        [&](const runner::JobRecord &rec) {
+            EXPECT_TRUE(rec.spec.sampled());
+            daemonLines.push_back(
+                runner::JsonlSink::deterministicJson(rec));
+        },
+        &outcome, &error))
+        << error;
+    std::sort(daemonLines.begin(), daemonLines.end());
+
+    runner::SweepSpec spec =
+        runner::SweepSpec::parseGrid(kSmallGrid);
+    spec.defaultInstructions = 100000;
+    spec.warmup = 20000;
+    spec.sampleBudget = 30000;
+    spec.sampleWindow = 4096;
+    spec.sampleSeed = 3;
+    runner::SweepRunner sweep(spec);
+    runner::CollectingSink collect;
+    sweep.addSink(collect);
+    runner::SweepOptions opt;
+    opt.useTraceCache = false;
+    sweep.run(opt);
+    std::vector<std::string> localLines;
+    for (const auto &rec : collect.records())
+        localLines.push_back(
+            runner::JsonlSink::deterministicJson(rec));
+    std::sort(localLines.begin(), localLines.end());
+
+    EXPECT_EQ(outcome.jobs, localLines.size());
+    EXPECT_EQ(daemonLines, localLines);
+    // And the payloads really carried the sampled shape.
+    for (const auto &line : daemonLines) {
+        EXPECT_NE(line.find("\"sample_budget\":30000"),
+                  std::string::npos);
+        EXPECT_NE(line.find("_ci_lo"), std::string::npos);
+    }
+}
+
+TEST(DaemonTest, InvalidSampleSpecGetsAnErrorFrameNotACrash)
+{
+    sample::install();
+    DaemonConfig cfg;
+    cfg.socketPath = testSocketPath();
+    cfg.workers = 1;
+    Daemon daemon(cfg);
+    std::string error;
+    ASSERT_TRUE(daemon.start(&error)) << error;
+
+    Client client;
+    ASSERT_TRUE(client.connect(cfg.socketPath, &error)) << error;
+
+    // Window longer than the measured region: rejected per-spec with
+    // a message, never a fatal() inside the daemon.
+    SubmitRequest req;
+    req.grid = "workload=micro.stride;predictor=stride";
+    req.instructions = 50000;
+    req.warmup = 10000;
+    req.sampleBudget = 20000;
+    req.sampleWindow = 60000;
+    EXPECT_FALSE(client.submit(req, &error));
+    EXPECT_NE(error.find("longer than the measured region"),
+              std::string::npos)
+        << error;
+
+    // Mistyped sample fields in a hand-rolled frame get an error
+    // frame too, and the connection survives both rejections.
+    ASSERT_TRUE(writeFrame(
+        client.fd(),
+        "{\"type\":\"submit\",\"grid\":\"workload=micro.stride;"
+        "predictor=stride\",\"sample_budget\":\"lots\"}"));
+    std::string payload;
+    ASSERT_EQ(readFrame(client.fd(), payload), FrameStatus::Ok);
+    EXPECT_NE(payload.find("\"error\""), std::string::npos);
+    EXPECT_NE(payload.find("sample_budget"), std::string::npos);
+
+    EXPECT_TRUE(client.ping(&error)) << error;
+
+    // A valid sampled submit still works on the same connection.
+    req.sampleWindow = 4096;
+    req.sampleBudget = 20000;
+    EXPECT_TRUE(client.submit(req, &error)) << error;
+    EXPECT_TRUE(client.streamResults(nullptr, nullptr, &error))
+        << error;
 }
 
 TEST(DaemonTest, SecondClientIsServedEntirelyFromTheSharedCache)

@@ -180,6 +180,55 @@ TEST_F(SimdKernels, CountSecondDiffZeroMatchesScalarReference)
     }
 }
 
+TEST_F(SimdKernels, RandomizedParityFuzz)
+{
+    // Beyond the curated kSizes shapes: several hundred trials with
+    // randomized lengths, lags, window tops, and planted structure —
+    // every kernel's AVX2 and scalar paths must agree bit-for-bit.
+    Xorshift64Star rng(0xf00d);
+    for (int trial = 0; trial < 400; ++trial) {
+        size_t n = 1 + rng.below(600);
+        auto raw = randomLane(n, rng.next());
+        std::vector<int64_t> a(raw.begin(), raw.end());
+
+        // Sometimes plant a stride run / duplicates so firstEqual and
+        // countSecondDiffZero exercise their hit paths, not just
+        // misses.
+        if (rng.below(2) == 0)
+            for (size_t i = 1 + rng.below(n); i < n; ++i)
+                a[i] = a[i - 1] + static_cast<int64_t>(rng.below(5));
+
+        std::vector<int64_t> b = a;
+        size_t flips = rng.below(n + 1);
+        for (size_t f = 0; f < flips; ++f)
+            b[rng.below(n)] ^= static_cast<int64_t>(1 + rng.below(7));
+
+        simd::setModeForTest(simd::Mode::Avx2);
+        int feAvx = simd::firstEqual(a.data(), b.data(), n);
+        simd::setModeForTest(simd::Mode::Scalar);
+        int feSc = simd::firstEqual(a.data(), b.data(), n);
+        ASSERT_EQ(feAvx, feSc) << "trial=" << trial << " n=" << n;
+
+        const int64_t *wtop = a.data() + n - 1;
+        int64_t actual = static_cast<int64_t>(rng.next());
+        std::vector<int64_t> dAvx(n), dSc(n);
+        simd::setModeForTest(simd::Mode::Avx2);
+        simd::diffAgainstWindow(actual, wtop, dAvx.data(), n);
+        simd::setModeForTest(simd::Mode::Scalar);
+        simd::diffAgainstWindow(actual, wtop, dSc.data(), n);
+        ASSERT_EQ(dAvx, dSc) << "trial=" << trial << " n=" << n;
+
+        size_t L = 1 + rng.below(80);
+        std::vector<uint64_t> u(a.begin(), a.end());
+        simd::setModeForTest(simd::Mode::Avx2);
+        size_t cAvx = simd::countSecondDiffZero(u.data(), n, L);
+        simd::setModeForTest(simd::Mode::Scalar);
+        size_t cSc = simd::countSecondDiffZero(u.data(), n, L);
+        ASSERT_EQ(cAvx, cSc)
+            << "trial=" << trial << " n=" << n << " L=" << L;
+    }
+}
+
 TEST(SimdDispatch, NamesAreStable)
 {
     simd::Mode m = simd::activeMode();

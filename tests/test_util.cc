@@ -9,6 +9,7 @@
 #include <set>
 
 #include "util/bits.hh"
+#include "util/json.hh"
 #include "util/logging.hh"
 #include "util/random.hh"
 #include "util/ring_history.hh"
@@ -271,6 +272,125 @@ TEST(RingHistory, ClearEmptiesWindow)
     EXPECT_EQ(h[0], 0);
     h.push(5);
     EXPECT_EQ(h[0], 5);
+}
+
+// --------------------------------------------------------------- json
+//
+// Property/fuzz coverage for the reader that now sits on the snapshot
+// and daemon read paths: escape→parse is the identity on arbitrary
+// byte strings, the depth cap holds exactly, and truncated or mangled
+// documents are rejected (never crash, never accept).
+
+TEST(JsonProperty, EscapeParseRoundTripsArbitraryBytes)
+{
+    Xorshift64Star rng(0x1234);
+    for (int trial = 0; trial < 200; ++trial) {
+        std::string s;
+        size_t len = rng.below(64);
+        for (size_t i = 0; i < len; ++i)
+            s.push_back(static_cast<char>(rng.below(256)));
+        std::string doc = "\"" + json::escape(s) + "\"";
+        json::Value v;
+        std::string error;
+        ASSERT_TRUE(json::parse(doc, v, &error))
+            << error << " doc=" << doc;
+        ASSERT_TRUE(v.isString());
+        EXPECT_EQ(v.str, s);
+    }
+}
+
+TEST(JsonProperty, EscapedKeysSurviveAnObjectRoundTrip)
+{
+    std::string key = "we\"ird\\key\n\t";
+    std::string doc =
+        "{\"" + json::escape(key) + "\": [1, 2.5, -3e2]}";
+    json::Value v;
+    ASSERT_TRUE(json::parse(doc, v));
+    const json::Value *member = v.find(key);
+    ASSERT_NE(member, nullptr);
+    ASSERT_TRUE(member->isArray());
+    ASSERT_EQ(member->array.size(), 3u);
+    EXPECT_EQ(member->array[2].asNumber(), -300.0);
+}
+
+TEST(JsonProperty, DepthCapIsExact)
+{
+    auto nested = [](int depth) {
+        std::string doc(depth, '[');
+        doc += "1";
+        doc.append(depth, ']');
+        return doc;
+    };
+    json::Value v;
+    // 64 nested arrays parse; 65 trip the cap.
+    EXPECT_TRUE(json::parse(nested(64), v));
+    std::string error;
+    EXPECT_FALSE(json::parse(nested(65), v, &error));
+    EXPECT_NE(error.find("deep"), std::string::npos);
+}
+
+TEST(JsonProperty, EveryTruncationOfAnObjectDocumentIsRejected)
+{
+    const std::string doc =
+        "{\"a\": [1, 2.5e-3], \"b\": \"x\\ny\", \"c\": null, "
+        "\"d\": true}";
+    json::Value v;
+    ASSERT_TRUE(json::parse(doc, v));
+    for (size_t cut = 0; cut < doc.size(); ++cut)
+        EXPECT_FALSE(json::parse(doc.substr(0, cut), v))
+            << "prefix of length " << cut << " was accepted";
+    // ...and trailing garbage after the complete document is too.
+    EXPECT_FALSE(json::parse(doc + "x", v));
+    EXPECT_FALSE(json::parse(doc + " {}", v));
+}
+
+TEST(JsonFuzz, RandomMutationsNeverCrashTheParser)
+{
+    const std::string seedDoc =
+        "{\"format\":\"gdiff-snapshot\",\"version\":1,"
+        "\"jobs\":[{\"ipc\":1.25,\"ok\":true},null]}";
+    Xorshift64Star rng(99);
+    json::Value v;
+    size_t accepted = 0;
+    for (int trial = 0; trial < 500; ++trial) {
+        std::string doc = seedDoc;
+        // 1-4 random byte edits: overwrite, delete, or insert.
+        unsigned edits = 1 + static_cast<unsigned>(rng.below(4));
+        for (unsigned e = 0; e < edits && !doc.empty(); ++e) {
+            size_t pos = rng.below(doc.size());
+            switch (rng.below(3)) {
+            case 0:
+                doc[pos] = static_cast<char>(rng.below(256));
+                break;
+            case 1:
+                doc.erase(pos, 1);
+                break;
+            default:
+                doc.insert(pos, 1,
+                           static_cast<char>(rng.below(256)));
+                break;
+            }
+        }
+        if (json::parse(doc, v))
+            ++accepted; // fine — some mutations stay valid JSON
+    }
+    // The parser survived all 500; most mutants must be rejected.
+    EXPECT_LT(accepted, 250u);
+}
+
+TEST(JsonFuzz, RandomGarbageNeverCrashesTheParser)
+{
+    Xorshift64Star rng(7);
+    json::Value v;
+    for (int trial = 0; trial < 300; ++trial) {
+        std::string doc;
+        size_t len = rng.below(48);
+        for (size_t i = 0; i < len; ++i)
+            doc.push_back(static_cast<char>(rng.below(256)));
+        std::string error;
+        if (!json::parse(doc, v, &error))
+            EXPECT_FALSE(error.empty());
+    }
 }
 
 } // namespace
